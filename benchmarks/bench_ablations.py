@@ -1,0 +1,66 @@
+"""Ablation benches for the design choices called out in DESIGN.md."""
+
+from repro.bench.experiments import (
+    ablation_admission_extrapolation,
+    ablation_benefit_recompute,
+    ablation_eviction_order,
+    ablation_subsumption_index,
+    ablation_timing_sampling,
+)
+
+
+def test_ablation_benefit_recompute(run_experiment):
+    result = run_experiment(
+        ablation_benefit_recompute, cache_size=400_000, num_queries=15, scale_factor=0.002
+    )
+    print(
+        f"recompute={result['recompute_total_s']:.2f}s frozen={result['frozen_total_s']:.2f}s "
+        f"(frozen slowdown {result['frozen_slowdown_pct']:+.1f}%)"
+    )
+    assert result["recompute_total_s"] > 0 and result["frozen_total_s"] > 0
+
+
+def test_ablation_eviction_order(run_experiment):
+    result = run_experiment(
+        ablation_eviction_order, cache_size=400_000, num_queries=15, scale_factor=0.002
+    )
+    print(
+        f"size-aware: {result['size_aware_total_s']:.2f}s / {result['size_aware_evictions']} evictions; "
+        f"plain: {result['plain_total_s']:.2f}s / {result['plain_evictions']} evictions"
+    )
+    # The size-aware heuristic exists to evict fewer items for the same space.
+    assert result["size_aware_evictions"] <= result["plain_evictions"]
+
+
+def test_ablation_timing_sampling(run_experiment):
+    result = run_experiment(ablation_timing_sampling, num_queries=12, scale_factor=0.002)
+    totals = result["totals"]
+    print(
+        f"sampled(1%)={totals['sampled_1pct']:.2f}s per-record={totals['per_record']:.2f}s "
+        f"(per-record overhead {result['per_record_overhead_pct']:+.1f}%)"
+    )
+    assert totals["sampled_1pct"] > 0
+
+
+def test_ablation_admission_extrapolation(run_experiment):
+    result = run_experiment(
+        ablation_admission_extrapolation, num_queries=15, scale_factor=0.002
+    )
+    for name, stats in result.items():
+        print(
+            f"{name}: mean_overhead={stats['mean_overhead_pct']:.1f}% "
+            f"lazy={stats['lazy_admissions']} eager={stats['eager_admissions']} "
+            f"total={stats['total_time_s']:.2f}s"
+        )
+    assert set(result) == {"extrapolated", "naive"}
+
+
+def test_ablation_subsumption_index(run_experiment):
+    result = run_experiment(ablation_subsumption_index, num_predicates=300, num_lookups=150)
+    for name, stats in result.items():
+        print(
+            f"{name}: lookups={stats['lookup_total_s'] * 1e3:.2f}ms "
+            f"inserts={stats['insert_total_s'] * 1e3:.2f}ms hits={stats['hits']}"
+        )
+    # Both strategies must find exactly the same subsuming caches.
+    assert result["rtree"]["hits"] == result["linear"]["hits"]

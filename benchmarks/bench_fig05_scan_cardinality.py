@@ -1,0 +1,16 @@
+"""Figure 5: full-scan time vs nested-array cardinality (Parquet vs columnar)."""
+
+from repro.bench.experiments import figure5_scan_vs_cardinality
+from repro.bench.reporting import format_table
+
+
+def test_fig05_scan_vs_cardinality(run_experiment):
+    rows = run_experiment(
+        figure5_scan_vs_cardinality, cardinalities=(0, 2, 5, 10, 20), num_records=300
+    )
+    print(format_table(rows, title="Figure 5: scan time vs cardinality"))
+    # Paper shape: Parquet stays slower than the relational columnar layout for
+    # full scans even as the nested collection grows (about 3x in the paper).
+    for row in rows:
+        if row["cardinality"] >= 2:
+            assert row["parquet_scan_s"] > row["columnar_scan_s"]

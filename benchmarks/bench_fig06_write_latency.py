@@ -1,0 +1,16 @@
+"""Figure 6: cache build (write) latency vs nested-array cardinality."""
+
+from repro.bench.experiments import figure6_write_latency
+from repro.bench.reporting import format_table
+
+
+def test_fig06_write_latency(run_experiment):
+    rows = run_experiment(
+        figure6_write_latency, cardinalities=(2, 5, 10, 20), num_records=300
+    )
+    print(format_table(rows, title="Figure 6: cache write latency vs cardinality"))
+    # Paper shape: the Parquet layout is cheaper to build than the flattened
+    # relational columnar layout once records carry nested collections, and the
+    # gap grows with the cardinality.
+    assert rows[-1]["columnar_build_s"] > rows[-1]["parquet_build_s"]
+    assert rows[-1]["columnar_vs_parquet"] >= rows[0]["columnar_vs_parquet"]

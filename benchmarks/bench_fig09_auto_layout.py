@@ -1,0 +1,30 @@
+"""Figure 9: automatic layout selection vs the two static layouts."""
+
+import pytest
+
+from repro.bench.experiments import figure9_auto_layout
+
+
+@pytest.mark.parametrize("pattern", ["halves", "alternating", "random"])
+def test_fig09_auto_layout(run_experiment, pattern):
+    result = run_experiment(
+        figure9_auto_layout, pattern=pattern, num_queries=180, num_orders=600
+    )
+    totals = result["totals"]
+    print(
+        f"pattern={pattern}: parquet={totals['parquet']:.3f}s columnar={totals['columnar']:.3f}s "
+        f"recache={totals['recache']:.3f}s optimal={result['optimal_total']:.3f}s "
+        f"switches={result['recache_layout_switches']} "
+        f"closer-than-parquet={result['closer_than_parquet_pct']:.0f}% "
+        f"closer-than-columnar={result['closer_than_columnar_pct']:.0f}%"
+    )
+    # ReCache must never collapse to the *worse* static layout: it stays within
+    # a modest margin of the better static choice on every pattern, and on the
+    # two-phase pattern (Figure 9a) it actually has to adapt (switch layouts).
+    best_static = min(totals["parquet"], totals["columnar"])
+    worst_static = max(totals["parquet"], totals["columnar"])
+    margin = 1.35 if pattern == "halves" else 1.6
+    assert totals["recache"] <= max(worst_static, best_static * margin)
+    assert totals["recache"] <= best_static * margin
+    if pattern == "halves":
+        assert result["recache_layout_switches"] >= 1

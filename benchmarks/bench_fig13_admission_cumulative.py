@@ -1,0 +1,27 @@
+"""Figure 13: cumulative workload time for no-cache / lazy / eager / ReCache."""
+
+from repro.bench.experiments import figure13_admission_cumulative
+
+
+def test_fig13_admission_cumulative(run_experiment):
+    result = run_experiment(
+        figure13_admission_cumulative, num_queries=30, scale_factor=0.002
+    )
+    totals = result["totals"]
+    print(
+        "cumulative totals: "
+        + " ".join(f"{name}={value:.2f}s" for name, value in totals.items())
+    )
+    print(
+        f"recache vs lazy: {result['recache_vs_lazy_reduction_pct']:+.1f}%  "
+        f"recache vs eager gap: {result['recache_vs_eager_gap_pct']:+.1f}%"
+    )
+    # Shape preserved on this substrate: lazy caching stays close to the
+    # no-caching baseline while the eager strategies pay the materialization
+    # cost up front; ReCache stays cheaper than always-eager caching.  (In the
+    # paper the eager strategies additionally overtake the no-caching baseline;
+    # see EXPERIMENTS.md for why that crossover needs more reuse than the
+    # bench-scale workload provides.)
+    assert totals["lazy"] <= totals["eager"]
+    assert totals["recache"] <= totals["eager"] * 1.05
+    assert len(result["series"]["none"]) == 30

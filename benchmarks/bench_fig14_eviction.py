@@ -1,0 +1,25 @@
+"""Figure 14: eviction-policy comparison across cache sizes."""
+
+from repro.bench.experiments import FIGURE14_POLICIES, figure14_eviction_policies
+
+
+def test_fig14_eviction_policies(run_experiment):
+    result = run_experiment(
+        figure14_eviction_policies,
+        cache_sizes=(250_000, 1_000_000),
+        num_queries=18,
+        scale_factor=0.002,
+    )
+    for row in result["rows"]:
+        print(
+            f"cache={row['cache_size']:>9d}B  "
+            + "  ".join(f"{policy}={row[policy]:.2f}s" for policy in FIGURE14_POLICIES)
+            + f"  recache-vs-lru={row['recache_vs_lru_reduction_pct']:+.1f}%"
+        )
+    print(f"unlimited-cache baseline: {result['unlimited_total']:.2f}s")
+    # Paper shape: the cost-aware ReCache policy does not lose to LRU, and no
+    # limited-cache configuration beats the unlimited-cache baseline by more
+    # than measurement noise.
+    for row in result["rows"]:
+        assert row["recache"] <= row["lru"] * 1.10
+        assert row["recache"] >= result["unlimited_total"] * 0.8

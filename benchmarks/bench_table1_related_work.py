@@ -1,0 +1,13 @@
+"""Table 1: qualitative comparison with related work."""
+
+from repro.bench.experiments import TABLE1_REQUIREMENTS, table1_related_work
+from repro.bench.reporting import format_table
+
+
+def test_table1_related_work(run_experiment):
+    rows = run_experiment(table1_related_work)
+    print(format_table(rows, title="Table 1: comparison with related work"))
+    assert len(rows) == 6
+    # Only ReCache ticks all three requirement columns.
+    full_rows = [r for r in rows if all(r[req] for req in TABLE1_REQUIREMENTS)]
+    assert [r["research_area"] for r in full_rows] == ["Reactive Cache (ReCache)"]

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists so
+that the package can also be installed in environments whose tooling predates
+PEP 660 editable installs (``python setup.py develop`` / legacy ``pip``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+Each public function in :mod:`repro.bench.experiments` corresponds to one
+figure or table of the evaluation section and returns a plain-data result
+(lists/dicts) that the benchmark scripts under ``benchmarks/`` print and
+assert on.  The experiments run at laptop scale — the absolute numbers differ
+from the paper's Xeon/SF-10 setup, but the comparisons (who wins, by what
+factor, where the crossovers fall) are preserved.
+"""
+
+from repro.bench import experiments
+from repro.bench.reporting import format_table, format_series, cdf_points
+
+__all__ = ["experiments", "format_table", "format_series", "cdf_points"]

@@ -1,0 +1,77 @@
+"""Plain-text reporting helpers shared by the benchmark scripts."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None, title: str = "") -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_format_value(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(width) for col, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, values: Sequence[float], every: int = 1) -> str:
+    """Render a numeric series compactly (used for cumulative-time curves)."""
+    picked = [f"{value:.4g}" for index, value in enumerate(values) if index % every == 0]
+    return f"{name}: [{', '.join(picked)}]"
+
+
+def cdf_points(values: Sequence[float], percentiles: Sequence[float] = (50, 90, 95, 99)) -> dict:
+    """Selected percentiles of a distribution (for CDF figures)."""
+    if not values:
+        return {f"p{int(p)}": None for p in percentiles}
+    ordered = sorted(values)
+    result = {}
+    for percentile in percentiles:
+        index = min(len(ordered) - 1, int(round(percentile / 100.0 * (len(ordered) - 1))))
+        result[f"p{int(percentile)}"] = ordered[index]
+    return result
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values at or below ``threshold`` (a single CDF point)."""
+    if not values:
+        return 0.0
+    return sum(1 for value in values if value <= threshold) / len(values)
+
+
+def percent_reduction(baseline: float, improved: float) -> float:
+    """Percentage reduction of ``improved`` relative to ``baseline``."""
+    if baseline <= 0:
+        return 0.0
+    return (baseline - improved) / baseline * 100.0
+
+
+def closeness_to_optimal(candidate: float, competitor: float, optimal: float) -> float:
+    """How much closer ``candidate`` is to ``optimal`` than ``competitor`` (%, Fig. 9).
+
+    Defined as the reduction of the gap to the optimal:
+    ``(competitor - candidate) / (competitor - optimal) * 100``.
+    """
+    gap = competitor - optimal
+    if gap <= 0:
+        return 0.0
+    return (competitor - candidate) / gap * 100.0
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

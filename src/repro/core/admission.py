@@ -1,0 +1,115 @@
+"""Reactive cache admission (Section 5.2 of the paper).
+
+For data the cache has no history about, ReCache starts caching a small sample
+of records both eagerly and lazily while measuring (a) the total time spent on
+the query so far and (b) the time spent specifically on caching work.  At the
+end of the sample it *extrapolates* both to the end of the file — this is the
+``to1/tc1 .. to2/tc2`` scheme the paper introduces to avoid being fooled by
+expensive upstream operators such as joins — and compares the projected caching
+overhead ``tc / to`` against a user threshold.  Above the threshold the entry
+is downgraded to lazy caching (record offsets only); otherwise eager caching
+continues.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AdmissionDecision(enum.Enum):
+    """Outcome of the admission check for one materializer."""
+
+    EAGER = "eager"
+    LAZY = "lazy"
+
+
+@dataclass
+class AdmissionSample:
+    """The four timestamps captured around the admission sample.
+
+    ``to1``/``to2`` are total elapsed query times at the start and end of the
+    sample; ``tc1``/``tc2`` are cumulative caching times at the same points.
+    ``sample_records`` records were processed in between, out of an estimated
+    ``total_records`` in the file.
+    """
+
+    to1: float
+    tc1: float
+    to2: float
+    tc2: float
+    sample_records: int
+    total_records: int
+
+    def __post_init__(self) -> None:
+        if self.sample_records <= 0:
+            raise ValueError("sample_records must be positive")
+        if self.total_records < self.sample_records:
+            # A file smaller than the sample: treat the sample as the file.
+            self.total_records = self.sample_records
+
+
+class AdmissionController:
+    """Decides between eager and lazy caching for previously unseen data."""
+
+    def __init__(self, overhead_threshold: float = 0.10, sample_records: int = 200) -> None:
+        if not 0.0 < overhead_threshold <= 1.0:
+            raise ValueError("overhead_threshold must be in (0, 1]")
+        if sample_records <= 0:
+            raise ValueError("sample_records must be positive")
+        self.overhead_threshold = overhead_threshold
+        self.sample_records = sample_records
+
+    # ------------------------------------------------------------------
+    # The paper's extrapolating estimator
+    # ------------------------------------------------------------------
+    def projected_overhead(self, sample: AdmissionSample) -> float:
+        """Projected caching overhead ``tc / to`` at the end of the file."""
+        scale = sample.total_records / sample.sample_records
+        to_end = sample.to1 + scale * (sample.to2 - sample.to1)
+        tc_end = sample.tc1 + scale * (sample.tc2 - sample.tc1)
+        if to_end <= 0.0:
+            return 0.0
+        return max(0.0, tc_end / to_end)
+
+    def decide(self, sample: AdmissionSample) -> AdmissionDecision:
+        """Admission decision from an extrapolated overhead estimate."""
+        overhead = self.projected_overhead(sample)
+        if overhead > self.overhead_threshold:
+            return AdmissionDecision.LAZY
+        return AdmissionDecision.EAGER
+
+    # ------------------------------------------------------------------
+    # Naive sample-local estimator (ablation baseline)
+    # ------------------------------------------------------------------
+    def naive_overhead(self, sample: AdmissionSample) -> float:
+        """Caching overhead measured only within the sample (no extrapolation).
+
+        This is the estimator the paper argues against: when an expensive
+        upstream operator (e.g. a join) dominates ``to`` before the sample
+        starts, the sample-local ratio looks deceptively small.
+        """
+        to_sample = sample.to2
+        tc_sample = sample.tc2
+        if to_sample <= 0.0:
+            return 0.0
+        return max(0.0, tc_sample / to_sample)
+
+    def decide_naive(self, sample: AdmissionSample) -> AdmissionDecision:
+        overhead = self.naive_overhead(sample)
+        if overhead > self.overhead_threshold:
+            return AdmissionDecision.LAZY
+        return AdmissionDecision.EAGER
+
+    # ------------------------------------------------------------------
+    # Working-set shortcuts (Section 5.2, last paragraph)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def should_skip_sampling(source_has_live_entries: bool) -> bool:
+        """Skip the sampling phase and cache eagerly when the file is "hot".
+
+        As long as at least one cached item originating from the same file has
+        not been evicted, ReCache assumes the file is still part of the working
+        set and eagerly caches further accesses to it.
+        """
+        return source_has_live_entries

@@ -1,0 +1,341 @@
+"""The ReCache cache manager: the coordination point of all reactive decisions.
+
+The query engine interacts with this class at four points of a query's life:
+
+1. :meth:`ReCache.lookup` — before executing a select operator, ask whether an
+   exactly matching or subsuming cache exists (measuring lookup time ``l``).
+2. :meth:`ReCache.admit_eager` / :meth:`ReCache.admit_lazy` — after a cache
+   miss, admit the materialized result (or just the satisfying offsets) under
+   the admission controller's decision, evicting older items if capacity is
+   exceeded.
+3. :meth:`ReCache.record_reuse` — after reusing a cache, update its statistics
+   and layout observations, and let the layout selector switch its layout if
+   the observed workload warrants it.
+4. :meth:`ReCache.upgrade_lazy` — replace a lazy entry with an eager one the
+   first time it is reused.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.admission import AdmissionController
+from repro.core.benefit import benefit_metric
+from repro.core.cache_entry import CacheEntry, CacheKey, LayoutObservation
+from repro.core.config import ReCacheConfig
+from repro.core.eviction import EvictionPolicy
+from repro.core.layout_selector import LayoutSelector
+from repro.core.policies import OfflinePolicy, make_policy
+from repro.core.subsumption import SubsumptionIndex
+from repro.engine.expressions import Expression
+from repro.layouts import convert_layout
+from repro.layouts.base import CacheLayout
+
+
+@dataclass
+class CacheMatch:
+    """The result of a successful cache lookup."""
+
+    entry: CacheEntry
+    exact: bool
+    lookup_time: float
+
+
+@dataclass
+class CacheManagerStats:
+    """Aggregate counters exposed for reporting and tests."""
+
+    lookups: int = 0
+    exact_hits: int = 0
+    subsumption_hits: int = 0
+    misses: int = 0
+    admissions_eager: int = 0
+    admissions_lazy: int = 0
+    admissions_skipped: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
+    layout_switches: int = 0
+    lazy_upgrades: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def hits(self) -> int:
+        return self.exact_hits + self.subsumption_hits
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ReCache:
+    """Reactive cache of intermediate operator results over raw data."""
+
+    def __init__(self, config: ReCacheConfig | None = None) -> None:
+        self.config = config or ReCacheConfig()
+        self.policy: EvictionPolicy = make_policy(
+            self.config.eviction_policy, recompute_benefit=self.config.recompute_benefit
+        )
+        self.admission = AdmissionController(
+            overhead_threshold=self.config.admission_threshold,
+            sample_records=self.config.admission_sample_records,
+        )
+        self.layout_selector = LayoutSelector()
+        self.subsumption = SubsumptionIndex(use_rtree=self.config.use_rtree_index)
+        self.stats = CacheManagerStats()
+        self._entries: dict[str, CacheEntry] = {}
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+    def begin_query(self) -> int:
+        """Advance the logical clock; returns the new query sequence number."""
+        self._sequence += 1
+        if isinstance(self.policy, OfflinePolicy):
+            self.policy.advance_to(self._sequence)
+        return self._sequence
+
+    @property
+    def sequence(self) -> int:
+        return self._sequence
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entries(self) -> list[CacheEntry]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(entry.nbytes for entry in self._entries.values())
+
+    def has_live_entries(self, source: str) -> bool:
+        """True when at least one cached item from ``source`` is resident."""
+        return any(entry.source == source for entry in self._entries.values())
+
+    def has_hot_entries(self, source: str) -> bool:
+        """True when a cached item from ``source`` has already been reused.
+
+        This drives the admission controller's working-set shortcut
+        (Section 5.2): once caching a file has demonstrably paid off, further
+        accesses to the same file are cached eagerly without re-sampling.
+        """
+        return any(
+            entry.source == source and entry.stats.reuse_count > 0
+            for entry in self._entries.values()
+        )
+
+    def get_exact(self, source: str, predicate: Expression | None) -> CacheEntry | None:
+        key = CacheKey.for_select(source, predicate)
+        return self._entries.get(key.as_string())
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(
+        self, source: str, predicate: Expression | None, fields: list[str]
+    ) -> CacheMatch | None:
+        """Find an exactly matching or subsuming cache for a select operator."""
+        if not self.config.caching_enabled:
+            return None
+        started = time.perf_counter()
+        self.stats.lookups += 1
+
+        key = CacheKey.for_select(source, predicate)
+        entry = self._entries.get(key.as_string())
+        if entry is not None and entry.supports_fields(fields):
+            lookup_time = time.perf_counter() - started
+            self.stats.exact_hits += 1
+            return CacheMatch(entry=entry, exact=True, lookup_time=lookup_time)
+
+        if self.config.enable_subsumption:
+            matches = self.subsumption.find_subsuming(source, predicate, fields)
+            matches = [m for m in matches if m.key.as_string() != key.as_string()]
+            if matches:
+                # Prefer the smallest subsuming cache: it is the cheapest to scan.
+                best = min(matches, key=lambda e: e.nbytes)
+                lookup_time = time.perf_counter() - started
+                self.stats.subsumption_hits += 1
+                return CacheMatch(entry=best, exact=False, lookup_time=lookup_time)
+
+        self.stats.misses += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit_eager(
+        self,
+        source: str,
+        source_format: str,
+        predicate: Expression | None,
+        fields: list[str],
+        layout: CacheLayout,
+        operator_time: float,
+        caching_time: float,
+    ) -> CacheEntry | None:
+        """Admit a fully materialized cache entry."""
+        if not self.config.caching_enabled:
+            return None
+        key = CacheKey.for_select(source, predicate)
+        entry = CacheEntry(
+            key=key,
+            source=source,
+            source_format=source_format,
+            predicate=predicate,
+            fields=fields,
+            mode="eager",
+            layout=layout,
+        )
+        entry.record_creation(self._sequence, operator_time, caching_time)
+        if not self._make_room_for(entry):
+            self.stats.admissions_skipped += 1
+            return None
+        self._install(entry)
+        self.stats.admissions_eager += 1
+        return entry
+
+    def admit_lazy(
+        self,
+        source: str,
+        source_format: str,
+        predicate: Expression | None,
+        fields: list[str],
+        offsets: list[int],
+        operator_time: float,
+        caching_time: float,
+    ) -> CacheEntry | None:
+        """Admit a lazy (offsets-only) cache entry."""
+        if not self.config.caching_enabled:
+            return None
+        key = CacheKey.for_select(source, predicate)
+        entry = CacheEntry(
+            key=key,
+            source=source,
+            source_format=source_format,
+            predicate=predicate,
+            fields=fields,
+            mode="lazy",
+            lazy_offsets=offsets,
+        )
+        entry.record_creation(self._sequence, operator_time, caching_time)
+        if not self._make_room_for(entry):
+            self.stats.admissions_skipped += 1
+            return None
+        self._install(entry)
+        self.stats.admissions_lazy += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Reuse
+    # ------------------------------------------------------------------
+    def record_reuse(
+        self,
+        entry: CacheEntry,
+        scan_time: float,
+        lookup_time: float,
+        observation: LayoutObservation | None = None,
+    ) -> str | None:
+        """Update statistics after reusing ``entry``; maybe switch its layout.
+
+        Returns the name of the new layout if a switch was performed.
+        """
+        entry.record_reuse(self._sequence, scan_time, lookup_time)
+        self.policy.on_access(entry, self._sequence)
+        if observation is not None:
+            self.layout_selector.observe(entry, observation)
+        if not self.config.layout_selection or entry.is_lazy:
+            return None
+        decision = self.layout_selector.decide(entry)
+        if not decision.should_switch:
+            return None
+        return self._switch_layout(entry, decision.target_layout)
+
+    def upgrade_lazy(self, entry: CacheEntry, layout: CacheLayout, caching_time: float) -> None:
+        """Replace a lazy entry's offsets with a materialized layout."""
+        size_delta = layout.nbytes - entry.nbytes
+        self._free_overage(size_delta, exclude=entry)
+        entry.upgrade_to_eager(layout, caching_time)
+        self.stats.lazy_upgrades += 1
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def evict_entry(self, entry: CacheEntry) -> None:
+        key = entry.key.as_string()
+        if key in self._entries and self._entries[key] is entry:
+            del self._entries[key]
+        self.subsumption.unregister(entry)
+        self.policy.on_evict(entry)
+        self.stats.evictions += 1
+        self.stats.evicted_bytes += entry.nbytes
+
+    def benefit_of(self, entry: CacheEntry) -> float:
+        """The current benefit metric of a cached entry (for reporting)."""
+        return benefit_metric(entry)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _install(self, entry: CacheEntry) -> None:
+        key = entry.key.as_string()
+        existing = self._entries.get(key)
+        if existing is not None:
+            # A re-admission with (for example) a wider field set replaces the
+            # previous entry for the same operator.
+            self.evict_entry(existing)
+            self.stats.evictions -= 1  # replacement, not a capacity eviction
+            self.stats.evicted_bytes -= existing.nbytes
+        self._entries[key] = entry
+        self.policy.on_admit(entry, self._sequence)
+        self.subsumption.register(entry)
+
+    def _make_room_for(self, entry: CacheEntry) -> bool:
+        """Ensure the new entry fits; returns False when it cannot ever fit."""
+        limit = self.config.cache_size_limit
+        if limit is None:
+            return True
+        if entry.nbytes > limit:
+            # The item is larger than the entire cache: never admit it.
+            return False
+        needed = self.total_bytes + entry.nbytes - limit
+        if needed > 0:
+            self._evict_until_available(needed, exclude=entry)
+        return True
+
+    def _evict_until_available(self, bytes_to_free: int, exclude: CacheEntry | None = None) -> None:
+        candidates = [e for e in self._entries.values() if e is not exclude]
+        victims = self.policy.choose_victims(candidates, bytes_to_free)
+        for victim in victims:
+            self.evict_entry(victim)
+
+    def _free_overage(self, size_delta: int, exclude: CacheEntry) -> None:
+        """Evict enough to absorb ``size_delta`` extra bytes, if a limit is set."""
+        limit = self.config.cache_size_limit
+        if limit is None or size_delta <= 0:
+            return
+        needed = self.total_bytes + size_delta - limit
+        if needed > 0:
+            self._evict_until_available(needed, exclude=exclude)
+
+    def _switch_layout(self, entry: CacheEntry, target: str | None) -> str | None:
+        if target is None or entry.layout is None:
+            return None
+        converted, conversion_time = convert_layout(entry.layout, target, entry.layout.schema)
+        size_delta = converted.nbytes - entry.nbytes
+        limit = self.config.cache_size_limit
+        if limit is not None and converted.nbytes > limit:
+            # The converted layout would not fit at all; keep the old one.
+            return None
+        self._free_overage(size_delta, exclude=entry)
+        entry.replace_layout(converted)
+        # Converting the cache is additional caching work: fold it into ``c`` so
+        # the benefit metric keeps reflecting the true reconstruction cost.
+        entry.stats.caching_time += conversion_time
+        self.layout_selector.after_switch(entry)
+        self.stats.layout_switches += 1
+        return target

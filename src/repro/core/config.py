@@ -1,0 +1,156 @@
+"""Configuration knobs of the ReCache cache manager.
+
+Every configurable behaviour from the paper is exposed here so that the
+benchmarks can turn individual mechanisms on and off (the four configurations
+of Figure 15, the threshold sweep of Figure 12b, the policy comparison of
+Figure 14, and the ablation benches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: eviction policy identifiers accepted by :func:`repro.core.policies.make_policy`
+EVICTION_POLICIES = (
+    "recache",
+    "lru",
+    "lfu",
+    "proteus-lru",
+    "vectorwise",
+    "monetdb",
+    "offline-farthest",
+    "offline-log-optimal",
+)
+
+
+@dataclass
+class ReCacheConfig:
+    """Tunable parameters of a :class:`~repro.core.cache_manager.ReCache` instance."""
+
+    #: cache capacity in bytes; ``None`` means unlimited (used to isolate the
+    #: layout-selection experiments from eviction effects).
+    cache_size_limit: int | None = None
+
+    #: eviction policy name; see :data:`EVICTION_POLICIES`.
+    eviction_policy: str = "recache"
+
+    #: maximum fraction of query time the caching work may add before the
+    #: admission controller downgrades to lazy caching (the paper's default
+    #: threshold is 10%).
+    admission_threshold: float = 0.10
+
+    #: number of records cached both eagerly and lazily at the start of a scan
+    #: before the admission decision is made.
+    admission_sample_records: int = 200
+
+    #: if False, every cache is built eagerly (the "Eager Caching" baseline).
+    adaptive_admission: bool = True
+
+    #: use the paper's to1/tc1..to2/tc2 extrapolation when estimating caching
+    #: overhead; False falls back to the naive sample-local ratio (ablation).
+    admission_extrapolation: bool = True
+
+    #: if True, only record offsets are ever cached (the "Lazy Caching" baseline).
+    always_lazy: bool = False
+
+    #: disable caching entirely (the "No Caching" baseline of Figure 13).
+    caching_enabled: bool = True
+
+    #: default layout for caches of nested data (the paper defaults to Parquet
+    #: because it is cheaper to build, Figure 6).
+    default_nested_layout: str = "parquet"
+
+    #: default layout for caches of flat relational data.
+    default_flat_layout: str = "columnar"
+
+    #: if False the layout is never switched after creation (the static
+    #: "Parquet" / "Rel. Columnar" baselines of Figures 9, 10 and 15).
+    layout_selection: bool = True
+
+    #: if False row-vs-column selection for flat data is skipped.
+    row_column_selection: bool = True
+
+    #: fraction of records on which timing system calls are issued
+    #: (Section 5.1 recommends < 1%).
+    timing_sample_rate: float = 0.01
+
+    #: enable reuse of subsuming caches for range predicates (Section 3.3).
+    enable_subsumption: bool = True
+
+    #: look up subsuming caches with the R-tree; False falls back to a linear
+    #: scan over cached predicates (ablation).
+    use_rtree_index: bool = True
+
+    #: recompute the benefit metric from fresh measurements at every eviction
+    #: pass (Section 5.1 reports up to 6% regression when this is disabled).
+    recompute_benefit: bool = True
+
+    #: upgrade a lazy cache to an eager one the first time it is reused.
+    upgrade_lazy_on_reuse: bool = True
+
+    #: deterministic seed for the sampling RNG used by timers.
+    seed: int = 7
+
+    #: free-form labels attached by benchmarks (not interpreted by the cache).
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.eviction_policy not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {self.eviction_policy!r}; "
+                f"expected one of {EVICTION_POLICIES}"
+            )
+        if not 0.0 < self.admission_threshold <= 1.0:
+            raise ValueError("admission_threshold must be in (0, 1]")
+        if self.cache_size_limit is not None and self.cache_size_limit <= 0:
+            raise ValueError("cache_size_limit must be positive or None")
+        if self.default_nested_layout not in ("parquet", "columnar", "row"):
+            raise ValueError(f"unknown layout {self.default_nested_layout!r}")
+        if self.default_flat_layout not in ("columnar", "row"):
+            raise ValueError(f"unknown flat layout {self.default_flat_layout!r}")
+        if not 0.0 < self.timing_sample_rate <= 1.0:
+            raise ValueError("timing_sample_rate must be in (0, 1]")
+
+    @classmethod
+    def unlimited(cls, **overrides) -> "ReCacheConfig":
+        """A configuration with no capacity limit (layout-selection experiments)."""
+        return cls(cache_size_limit=None, **overrides)
+
+    @classmethod
+    def baseline_lru_columnar(cls, cache_size_limit: int | None = None) -> "ReCacheConfig":
+        """The Columnar/LRU baseline configuration of Figure 15."""
+        return cls(
+            cache_size_limit=cache_size_limit,
+            eviction_policy="lru",
+            layout_selection=False,
+            default_nested_layout="columnar",
+            adaptive_admission=False,
+        )
+
+    @classmethod
+    def baseline_parquet_greedy(cls, cache_size_limit: int | None = None) -> "ReCacheConfig":
+        """The Parquet/Greedy baseline configuration of Figure 15."""
+        return cls(
+            cache_size_limit=cache_size_limit,
+            eviction_policy="recache",
+            layout_selection=False,
+            default_nested_layout="parquet",
+            adaptive_admission=False,
+        )
+
+    @classmethod
+    def baseline_columnar_greedy(cls, cache_size_limit: int | None = None) -> "ReCacheConfig":
+        """The Columnar/Greedy baseline configuration of Figure 15."""
+        return cls(
+            cache_size_limit=cache_size_limit,
+            eviction_policy="recache",
+            layout_selection=False,
+            default_nested_layout="columnar",
+            adaptive_admission=False,
+        )
+
+    @classmethod
+    def full_recache(cls, cache_size_limit: int | None = None, **overrides) -> "ReCacheConfig":
+        """The full ReCache configuration (all reactive mechanisms enabled)."""
+        return cls(cache_size_limit=cache_size_limit, **overrides)

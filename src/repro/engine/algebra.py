@@ -1,0 +1,176 @@
+"""Logical query algebra.
+
+A thin logical plan representation in the spirit of the nested algebra Proteus
+uses [17]: scans over raw sources, selections, unnests (implicit in the
+flattening scans), projections, joins, aggregates, plus the two cache-specific
+nodes ReCache introduces — ``Materialize`` (cache the child's output) and
+``CacheScan`` (read a previously cached result instead of the raw data).
+
+Plans are built by :mod:`repro.engine.optimizer` and interpreted by
+:mod:`repro.engine.executor`; their ``signature`` methods provide the
+structural identity used for cache matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cache_entry import CacheEntry
+from repro.engine.expressions import AggregateSpec, Expression
+
+
+class PlanNode:
+    """Base class of logical plan nodes."""
+
+    def children(self) -> list["PlanNode"]:
+        return []
+
+    def signature(self) -> str:
+        raise NotImplementedError
+
+    def pretty(self, indent: int = 0) -> str:
+        """Human-readable plan tree (used by examples and debugging)."""
+        pad = "  " * indent
+        lines = [f"{pad}{self.describe()}"]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Full scan over a raw data source."""
+
+    source: str
+    fields: list[str] = field(default_factory=list)
+
+    def signature(self) -> str:
+        return f"scan({self.source})"
+
+    def describe(self) -> str:
+        return f"Scan[{self.source}]({', '.join(self.fields)})"
+
+
+@dataclass
+class SelectNode(PlanNode):
+    """Filter the child by a predicate."""
+
+    child: PlanNode
+    predicate: Expression | None
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def signature(self) -> str:
+        pred = self.predicate.signature() if self.predicate else "true"
+        return f"select({pred},{self.child.signature()})"
+
+    def describe(self) -> str:
+        pred = self.predicate.signature() if self.predicate else "true"
+        return f"Select[{pred}]"
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """Restrict the child's rows to a set of fields."""
+
+    child: PlanNode
+    fields: list[str]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def signature(self) -> str:
+        return f"project({','.join(sorted(self.fields))},{self.child.signature()})"
+
+    def describe(self) -> str:
+        return f"Project[{', '.join(self.fields)}]"
+
+
+@dataclass
+class MaterializeNode(PlanNode):
+    """Cache the child operator's output (ReCache's materializer, Fig. 3a)."""
+
+    child: PlanNode
+    source: str
+    predicate: Expression | None
+    fields: list[str]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def signature(self) -> str:
+        return f"materialize({self.child.signature()})"
+
+    def describe(self) -> str:
+        return f"Materialize[{self.source}]"
+
+
+@dataclass
+class CacheScanNode(PlanNode):
+    """Scan a previously cached operator result (Fig. 3b / Fig. 4).
+
+    ``exact`` marks an exact operator match; otherwise the cache merely
+    subsumes the requested data and ``residual_predicate`` must be re-applied
+    on top of the cache scan.
+    """
+
+    entry: CacheEntry
+    fields: list[str]
+    residual_predicate: Expression | None
+    exact: bool
+    lookup_time: float = 0.0
+
+    def signature(self) -> str:
+        kind = "exact" if self.exact else "subsume"
+        return f"cachescan({kind},{self.entry.key.as_string()})"
+
+    def describe(self) -> str:
+        kind = "exact" if self.exact else "subsuming"
+        return f"CacheScan[{kind}, {self.entry.layout_name}, {self.entry.source}]"
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """Hash equi-join between two subplans."""
+
+    left: PlanNode
+    right: PlanNode
+    left_key: str
+    right_key: str
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def signature(self) -> str:
+        return (
+            f"join({self.left_key}={self.right_key},"
+            f"{self.left.signature()},{self.right.signature()})"
+        )
+
+    def describe(self) -> str:
+        return f"HashJoin[{self.left_key} = {self.right_key}]"
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    """Aggregation over the child's rows, optionally grouped."""
+
+    child: PlanNode
+    aggregates: list[AggregateSpec]
+    group_by: list[str] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def signature(self) -> str:
+        aggs = ",".join(a.signature() for a in self.aggregates)
+        return f"agg({aggs};{','.join(self.group_by)},{self.child.signature()})"
+
+    def describe(self) -> str:
+        aggs = ", ".join(a.signature() for a in self.aggregates)
+        group = f" group by {', '.join(self.group_by)}" if self.group_by else ""
+        return f"Aggregate[{aggs}{group}]"

@@ -1,0 +1,128 @@
+"""Query "code generation": specializing expressions into Python closures.
+
+Proteus generates LLVM code specialized to each query and data format; the
+equivalent lever available to a pure-Python engine is to generate Python source
+for each predicate / projection / aggregation and ``compile`` it once per
+query, so that the per-row work is a single call into specialized bytecode
+rather than a tree walk over expression objects.  The generated code is also
+what the materializer stitches into its cache-creation path, mirroring the
+paper's description of cache code being generated just-in-time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.engine.expressions import (
+    AggregateSpec,
+    And,
+    Arithmetic,
+    Comparison,
+    Expression,
+    FieldRef,
+    Literal,
+    Not,
+    Or,
+    RangePredicate,
+)
+
+
+def compile_predicate(expr: Expression | None) -> Callable[[dict], bool]:
+    """Compile a boolean expression into a fast ``row -> bool`` closure."""
+    if expr is None:
+        return lambda row: True
+    source = f"lambda row: bool({_emit(expr)})"
+    return eval(compile(source, "<recache-predicate>", "eval"), {})  # noqa: S307
+
+
+def compile_value(expr: Expression) -> Callable[[dict], object]:
+    """Compile a value expression into a ``row -> value`` closure."""
+    source = f"lambda row: ({_emit(expr)})"
+    return eval(compile(source, "<recache-expression>", "eval"), {})  # noqa: S307
+
+
+def compile_projection(fields: Sequence[str]) -> Callable[[dict], dict]:
+    """Compile a projection of ``fields`` into a ``row -> dict`` closure."""
+    items = ", ".join(f"{field!r}: row.get({field!r})" for field in fields)
+    source = f"lambda row: {{{items}}}"
+    return eval(compile(source, "<recache-projection>", "eval"), {})  # noqa: S307
+
+
+class CompiledAggregate:
+    """Running state for one aggregate, specialized to its function."""
+
+    def __init__(self, spec: AggregateSpec) -> None:
+        self.spec = spec
+        self._value_of = compile_value(spec.expr)
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    def update(self, row: dict) -> None:
+        value = self._value_of(row)
+        if value is None:
+            return
+        self._count += 1
+        if self.spec.func in ("sum", "avg"):
+            self._sum += value
+        elif self.spec.func == "min":
+            self._min = value if self._min is None else min(self._min, value)
+        elif self.spec.func == "max":
+            self._max = value if self._max is None else max(self._max, value)
+
+    def result(self) -> object:
+        func = self.spec.func
+        if func == "count":
+            return self._count
+        if func == "sum":
+            return self._sum
+        if func == "avg":
+            return self._sum / self._count if self._count else None
+        if func == "min":
+            return self._min
+        return self._max
+
+
+def compile_aggregates(specs: Sequence[AggregateSpec]) -> list[CompiledAggregate]:
+    return [CompiledAggregate(spec) for spec in specs]
+
+
+# ---------------------------------------------------------------------------
+# Expression -> Python source
+# ---------------------------------------------------------------------------
+def _emit(expr: Expression) -> str:
+    if isinstance(expr, FieldRef):
+        return f"row.get({expr.path!r})"
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    if isinstance(expr, RangePredicate):
+        value = f"row.get({expr.field!r})"
+        low_op = "<=" if expr.interval.low_inclusive else "<"
+        high_op = "<=" if expr.interval.high_inclusive else "<"
+        return (
+            f"({value} is not None and {expr.interval.low!r} {low_op} {value} "
+            f"and {value} {high_op} {expr.interval.high!r})"
+        )
+    if isinstance(expr, Comparison):
+        left, right = _emit(expr.left), _emit(expr.right)
+        # Guard only the operands that can actually be None at runtime
+        # (literals cannot), mirroring the interpreter's null semantics.
+        guards = [
+            f"({emitted}) is not None"
+            for operand, emitted in ((expr.left, left), (expr.right, right))
+            if not isinstance(operand, Literal)
+        ]
+        comparison = f"({left}) {expr.op} ({right})"
+        if guards:
+            return "(" + " and ".join(guards + [comparison]) + ")"
+        return f"({comparison})"
+    if isinstance(expr, And):
+        return "(" + " and ".join(_emit(child) for child in expr.children) + ")"
+    if isinstance(expr, Or):
+        return "(" + " or ".join(_emit(child) for child in expr.children) + ")"
+    if isinstance(expr, Not):
+        return f"(not {_emit(expr.child)})"
+    if isinstance(expr, Arithmetic):
+        return f"(({_emit(expr.left)}) {expr.op} ({_emit(expr.right)}))"
+    raise TypeError(f"cannot compile expression of type {type(expr).__name__}")

@@ -1,0 +1,650 @@
+"""Physical execution of cache-aware logical plans.
+
+The executor interprets the plan produced by :mod:`repro.engine.optimizer`.
+Its most involved piece is the materializer (:func:`_execute_materialize`),
+which reproduces ReCache's reactive admission behaviour (Section 5.2): it
+caches the first records of a scan both eagerly and lazily while measuring the
+time spent on caching work, extrapolates the caching overhead to the end of the
+file, and downgrades to lazy (offsets-only) caching when the projected overhead
+exceeds the configured threshold.  Cache scans measure the data/compute costs
+that feed the layout selector, and lazy caches are upgraded to eager ones on
+their first reuse.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.admission import AdmissionDecision, AdmissionSample
+from repro.core.cache_entry import LayoutObservation
+from repro.core.cache_manager import ReCache
+from repro.core.config import ReCacheConfig
+from repro.engine.algebra import (
+    AggregateNode,
+    CacheScanNode,
+    JoinNode,
+    MaterializeNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+)
+from repro.engine.calibration import split_scan_cost
+from repro.engine.compiler import compile_aggregates, compile_predicate
+from repro.engine.operators import aggregate_rows, hash_join, project_rows
+from repro.engine.types import flatten_record
+from repro.formats.datafile import DataSource, DataSourceCatalog
+from repro.layouts import build_layout
+from repro.utils.timing import SampledTimer
+
+
+@dataclass
+class QueryReport:
+    """Per-query execution report returned by the engine."""
+
+    results: list[dict] = field(default_factory=list)
+    rows_returned: int = 0
+    total_time: float = 0.0
+    operator_time: float = 0.0
+    caching_time: float = 0.0
+    cache_scan_time: float = 0.0
+    lookup_time: float = 0.0
+    exact_hits: int = 0
+    subsumption_hits: int = 0
+    misses: int = 0
+    layout_switches: int = 0
+    lazy_upgrades: int = 0
+    admissions: dict = field(default_factory=lambda: {"eager": 0, "lazy": 0})
+    label: str = ""
+
+    @property
+    def cache_hits(self) -> int:
+        return self.exact_hits + self.subsumption_hits
+
+    @property
+    def caching_overhead(self) -> float:
+        """Fraction of the query's time spent on caching work (Figure 12)."""
+        if self.total_time <= 0.0:
+            return 0.0
+        return self.caching_time / self.total_time
+
+    def as_dict(self) -> dict:
+        return {
+            "rows_returned": self.rows_returned,
+            "total_time": self.total_time,
+            "operator_time": self.operator_time,
+            "caching_time": self.caching_time,
+            "cache_scan_time": self.cache_scan_time,
+            "lookup_time": self.lookup_time,
+            "exact_hits": self.exact_hits,
+            "subsumption_hits": self.subsumption_hits,
+            "misses": self.misses,
+            "caching_overhead": self.caching_overhead,
+            "layout_switches": self.layout_switches,
+        }
+
+
+@dataclass
+class ExecutionContext:
+    """Everything the executor needs while interpreting one plan."""
+
+    catalog: DataSourceCatalog
+    recache: ReCache | None
+    config: ReCacheConfig
+    report: QueryReport
+    sequence: int
+    query_started: float
+
+
+def execute_plan(plan: PlanNode, ctx: ExecutionContext) -> list[dict]:
+    """Interpret a logical plan bottom-up, returning its output rows."""
+    if isinstance(plan, AggregateNode):
+        rows = execute_plan(plan.child, ctx)
+        aggregates = compile_aggregates(plan.aggregates)
+        return aggregate_rows(rows, aggregates, plan.group_by)
+    if isinstance(plan, JoinNode):
+        left = execute_plan(plan.left, ctx)
+        right = execute_plan(plan.right, ctx)
+        started = time.perf_counter()
+        joined = hash_join(left, right, plan.left_key, plan.right_key)
+        ctx.report.operator_time += time.perf_counter() - started
+        return joined
+    if isinstance(plan, ProjectNode):
+        return project_rows(execute_plan(plan.child, ctx), plan.fields)
+    if isinstance(plan, CacheScanNode):
+        return _execute_cache_scan(plan, ctx)
+    if isinstance(plan, MaterializeNode):
+        return _execute_materialize(plan, ctx)
+    if isinstance(plan, SelectNode):
+        return _execute_select(plan, ctx)
+    if isinstance(plan, ScanNode):
+        return _scan_source_rows(ctx.catalog.get(plan.source), plan.fields)
+    raise TypeError(f"cannot execute plan node of type {type(plan).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Raw scans without caching
+# ---------------------------------------------------------------------------
+def _scan_source_rows(source: DataSource, fields: list[str]) -> list[dict]:
+    return list(source.scan(fields or None))
+
+
+def _execute_select(node: SelectNode, ctx: ExecutionContext) -> list[dict]:
+    """Select over a raw scan with no materializer (caching disabled)."""
+    if not isinstance(node.child, ScanNode):
+        rows = execute_plan(node.child, ctx)
+        predicate = compile_predicate(node.predicate)
+        return [row for row in rows if predicate(row)]
+    source = ctx.catalog.get(node.child.source)
+    fields = node.child.fields
+    predicate = compile_predicate(node.predicate)
+    dedupe = _record_level_semantics(source, fields)
+    started = time.perf_counter()
+    rows: list[dict] = []
+    for _, record_rows, _ in _iter_record_groups(source, fields):
+        satisfying = [row for row in record_rows if predicate(row)]
+        if not satisfying:
+            continue
+        if dedupe:
+            rows.append(satisfying[0])
+        else:
+            rows.extend(satisfying)
+    ctx.report.operator_time += time.perf_counter() - started
+    return rows
+
+
+def _record_level_semantics(source: DataSource, fields: list[str]) -> bool:
+    """True when a query over ``fields`` aggregates once per record.
+
+    Queries that reference no nested attribute follow the nested algebra's
+    record-level semantics; flattening duplicates must not be double counted
+    for them, regardless of which layout serves the data.
+    """
+    if not source.is_nested():
+        return False
+    schema = source.schema
+    known = set(schema.leaf_paths())
+    return not any(schema.is_nested_path(path) for path in fields if path in known)
+
+
+# ---------------------------------------------------------------------------
+# Cache reuse
+# ---------------------------------------------------------------------------
+def _execute_cache_scan(node: CacheScanNode, ctx: ExecutionContext) -> list[dict]:
+    entry = node.entry
+    recache = ctx.recache
+    assert recache is not None
+    ctx.report.lookup_time += node.lookup_time
+    if node.exact:
+        ctx.report.exact_hits += 1
+    else:
+        ctx.report.subsumption_hits += 1
+
+    if entry.is_lazy:
+        return _execute_lazy_cache_scan(node, ctx)
+
+    assert entry.layout is not None
+    wanted = node.fields
+    schema = entry.layout.schema
+    accessed_nested = any(
+        schema.is_nested_path(path) for path in wanted if path in set(schema.leaf_paths())
+    )
+    # Queries that touch no nested attribute follow record-level (nested
+    # algebra) semantics: parent attributes must not be double counted just
+    # because the cache stores the flattened view.
+    dedupe = bool(schema.nested_paths()) and not accessed_nested
+
+    started = time.perf_counter()
+    ranges = _vectorizable_ranges(node.residual_predicate, entry.layout, wanted)
+    if ranges is not None:
+        # The cached data is binary and columnar: evaluate the residual range
+        # predicate vectorized and materialize only the matching rows.
+        if entry.layout_name == "parquet":
+            rows = list(entry.layout.scan_range_filtered(ranges, fields=wanted))
+            scanned_rows = entry.layout.record_count
+        else:
+            rows = list(
+                entry.layout.scan_range_filtered(ranges, fields=wanted, dedupe_records=dedupe)
+            )
+            scanned_rows = entry.layout.flattened_row_count
+    else:
+        predicate = compile_predicate(node.residual_predicate)
+        scanned_rows = 0
+        rows = []
+        scan_kwargs = {}
+        if dedupe and entry.layout_name in ("columnar", "row"):
+            scan_kwargs["dedupe_records"] = True
+        for row in entry.layout.scan(fields=wanted, **scan_kwargs):
+            scanned_rows += 1
+            if predicate(row):
+                rows.append(row)
+        if entry.layout_name in ("columnar", "row") and dedupe:
+            # The dedup scan still walks every flattened row internally.
+            scanned_rows = entry.layout.flattened_row_count
+    scan_time = time.perf_counter() - started
+    ctx.report.cache_scan_time += scan_time
+
+    data_cost, compute_cost = split_scan_cost(scan_time, scanned_rows * max(1, len(wanted)))
+    observation = LayoutObservation(
+        query_index=ctx.sequence,
+        layout_name=entry.layout_name,
+        data_cost=data_cost,
+        compute_cost=compute_cost,
+        rows_accessed=scanned_rows,
+        columns_accessed=max(1, len(wanted)),
+        accessed_nested=accessed_nested,
+    )
+    switched = recache.record_reuse(
+        entry, scan_time=scan_time, lookup_time=node.lookup_time, observation=observation
+    )
+    if switched:
+        ctx.report.layout_switches += 1
+    return rows
+
+
+def _vectorizable_ranges(predicate, layout, wanted_fields) -> dict[str, tuple[float, float]] | None:
+    """Closed ranges usable by the layouts' vectorized filter, or ``None``.
+
+    The fast path applies when the residual predicate is a pure conjunction of
+    numeric range constraints and the layout can filter/project all involved
+    fields vectorized (for Parquet that additionally means no nested field is
+    touched).  Open/half-open bounds are widened to +/-inf, which is safe for
+    closed-interval evaluation because the underlying predicates produced by
+    the workload generators are inclusive.
+    """
+    from repro.engine.expressions import Comparison, RangePredicate, conjuncts, extract_ranges
+
+    if not hasattr(layout, "scan_range_filtered"):
+        return None
+    parts = conjuncts(predicate)
+    for part in parts:
+        if not isinstance(part, (Comparison, RangePredicate)):
+            return None
+        # Every conjunct must convert into a closed interval on its own,
+        # otherwise the vectorized filter would silently drop a constraint.
+        part_ranges = extract_ranges(part)
+        if len(part_ranges) != 1:
+            return None
+        interval = next(iter(part_ranges.values()))
+        if not (interval.low_inclusive and interval.high_inclusive):
+            return None
+    intervals = extract_ranges(predicate)
+    involved = set(wanted_fields) | set(intervals)
+    if not layout.supports_range_filter(sorted(involved)):
+        return None
+    return {field: (interval.low, interval.high) for field, interval in intervals.items()}
+
+
+def _execute_lazy_cache_scan(node: CacheScanNode, ctx: ExecutionContext) -> list[dict]:
+    """Reuse a lazy cache: re-read the satisfying records via the positional map."""
+    entry = node.entry
+    recache = ctx.recache
+    assert recache is not None
+    source = ctx.catalog.get(entry.source)
+    predicate = compile_predicate(node.residual_predicate)
+    upgrade = ctx.config.upgrade_lazy_on_reuse and not ctx.config.always_lazy
+    # When the lazy entry is about to be upgraded, parse complete tuples so the
+    # resulting eager cache can serve any later query over this source.
+    wanted = None if upgrade else node.fields
+    schema = source.schema
+    accessed_nested = any(
+        schema.is_nested_path(path) for path in node.fields if path in set(schema.leaf_paths())
+    )
+    dedupe = source.is_nested() and not accessed_nested
+
+    started = time.perf_counter()
+    rows_out: list[dict] = []
+    cached_rows: list[dict] = []
+    cached_counts: list[int] = []
+    for record_rows in source.read_record_rows(entry.lazy_offsets or [], wanted):
+        satisfying = [row for row in record_rows if predicate(row)]
+        if satisfying:
+            rows_out.append(satisfying[0]) if dedupe else rows_out.extend(satisfying)
+        if upgrade:
+            cached_rows.extend(record_rows)
+            cached_counts.append(len(record_rows))
+    scan_time = time.perf_counter() - started
+    ctx.report.cache_scan_time += scan_time
+
+    if upgrade:
+        build_started = time.perf_counter()
+        all_fields = source.flattened_schema.field_names()
+        layout = build_layout(
+            ctx.config.default_flat_layout if not source.is_nested() else "columnar",
+            source.flattened_schema if not source.is_nested() else source.schema,
+            all_fields,
+            rows=cached_rows,
+            record_row_counts=cached_counts if source.is_nested() else None,
+        )
+        build_time = time.perf_counter() - build_started
+        ctx.report.caching_time += build_time
+        entry.fields = all_fields
+        recache.upgrade_lazy(entry, layout, build_time)
+        ctx.report.lazy_upgrades += 1
+
+    recache.record_reuse(entry, scan_time=scan_time, lookup_time=node.lookup_time)
+    return rows_out
+
+
+# ---------------------------------------------------------------------------
+# Materialization (cache miss path)
+# ---------------------------------------------------------------------------
+def _execute_materialize(node: MaterializeNode, ctx: ExecutionContext) -> list[dict]:
+    source = ctx.catalog.get(node.source)
+    recache = ctx.recache
+    config = ctx.config
+    predicate = compile_predicate(node.predicate)
+    nested = source.is_nested()
+    layout_name = config.default_nested_layout if nested else config.default_flat_layout
+    ctx.report.misses += 1
+
+    dedupe_output = _record_level_semantics(source, node.fields)
+
+    if recache is None or not config.caching_enabled:
+        started = time.perf_counter()
+        rows = []
+        for _, record_rows, _ in _iter_record_groups(source, node.fields):
+            satisfying = [row for row in record_rows if predicate(row)]
+            if not satisfying:
+                continue
+            rows.extend(satisfying[:1] if dedupe_output else satisfying)
+        ctx.report.operator_time += time.perf_counter() - started
+        return rows
+
+    # The operator itself parses only the fields the query needs; *caching*
+    # eagerly means additionally parsing/flattening the complete tuple of every
+    # satisfying record, and that extra work is measured as caching time
+    # (Section 5.1: ``c`` includes "the time spent parsing the cached fields of
+    # each record").  The cached entry therefore exposes every leaf field and
+    # can serve any later query over this source.
+    cache_fields = source.flattened_schema.field_names()
+
+    # -- admission mode -----------------------------------------------------
+    mode: str | None
+    if config.always_lazy:
+        mode = "lazy"
+    elif not config.adaptive_admission:
+        mode = "eager"
+    elif recache.admission.should_skip_sampling(recache.has_hot_entries(source.name)):
+        mode = "eager"
+    else:
+        mode = None  # sample, then decide
+
+    sampling = mode is None
+    sample_limit = config.admission_sample_records
+    to1 = time.perf_counter() - ctx.query_started
+    tc1 = ctx.report.caching_time
+
+    caching_seconds = 0.0
+    post_sample_timer = SampledTimer(sample_rate=config.timing_sample_rate)
+    rows_out: list[dict] = []
+    eager_rows: list[dict] = []
+    eager_records: list[dict] = []
+    eager_counts: list[int] = []
+    lazy_offsets: list[int] = []
+    record_index = -1
+    bytes_seen = 0
+
+    operator_started = time.perf_counter()
+    for record_index, (record, rows, approx_bytes) in enumerate(
+        _iter_record_groups(source, node.fields)
+    ):
+        bytes_seen += approx_bytes
+        satisfying = [row for row in rows if predicate(row)]
+        if satisfying:
+            rows_out.extend(satisfying[:1] if dedupe_output else satisfying)
+        if not satisfying and not sampling:
+            continue
+
+        exact_timing = sampling
+        if exact_timing:
+            cache_started = time.perf_counter()
+        else:
+            post_sample_timer.maybe_start()
+
+        if satisfying:
+            if mode == "lazy":
+                lazy_offsets.append(record_index)
+            else:
+                # Eager (or still sampling): parse the complete tuple(s) of the
+                # satisfying record into the cache buffers; the sampling phase
+                # also tracks offsets so a later lazy decision can keep them.
+                if sampling:
+                    lazy_offsets.append(record_index)
+                if nested and layout_name == "parquet":
+                    eager_records.append(record)
+                elif source.format == "json":
+                    # Already parsed by json.loads; flattening yields the
+                    # complete tuple(s) for the cache.
+                    full_rows = flatten_record(record, source.schema)
+                    eager_rows.extend(full_rows)
+                    if nested:
+                        eager_counts.append(len(full_rows))
+                else:
+                    eager_rows.append(source.plugin.parse_full(record))
+
+        if exact_timing:
+            caching_seconds += time.perf_counter() - cache_started
+        else:
+            post_sample_timer.maybe_stop()
+
+        if sampling and record_index + 1 >= sample_limit:
+            sampling = False
+            mode, sample_overhead = _decide_admission(
+                ctx,
+                source,
+                layout_name,
+                cache_fields,
+                nested,
+                eager_rows,
+                eager_records,
+                eager_counts,
+                caching_seconds,
+                to1,
+                tc1,
+                record_index + 1,
+                bytes_seen,
+            )
+            caching_seconds = sample_overhead
+            if mode == "lazy":
+                eager_rows, eager_records, eager_counts = [], [], []
+            else:
+                lazy_offsets = []
+
+    elapsed = time.perf_counter() - operator_started
+    caching_seconds += post_sample_timer.estimated_total
+
+    # If the file ended before the sample completed, fall back to eager: the
+    # whole (small) result is already buffered.
+    if mode is None:
+        mode = "eager"
+
+    # -- build and admit the cache -------------------------------------------
+    caching_seconds += _admit(
+        ctx,
+        node,
+        source,
+        mode,
+        layout_name,
+        cache_fields,
+        nested,
+        eager_rows,
+        eager_records,
+        eager_counts,
+        lazy_offsets,
+        elapsed,
+        caching_seconds,
+    )
+
+    operator_seconds = max(0.0, elapsed - caching_seconds)
+    ctx.report.operator_time += operator_seconds
+    ctx.report.caching_time += caching_seconds
+    return rows_out
+
+
+def _decide_admission(
+    ctx: ExecutionContext,
+    source: DataSource,
+    layout_name: str,
+    fields: list[str],
+    nested: bool,
+    eager_rows: list[dict],
+    eager_records: list[dict],
+    eager_counts: list[int],
+    caching_seconds: float,
+    to1: float,
+    tc1: float,
+    sample_records: int,
+    bytes_seen: int,
+) -> tuple[str, float]:
+    """Build the sample cache, extrapolate the overhead, pick eager or lazy."""
+    recache = ctx.recache
+    assert recache is not None
+    # Building the sample's eager cache is genuine caching work: include it in
+    # the sampled caching time so the extrapolation sees the full cost.
+    build_started = time.perf_counter()
+    try:
+        if nested and layout_name == "parquet":
+            build_layout(layout_name, source.schema, fields, records=eager_records)
+        else:
+            schema = source.schema if nested else source.flattened_schema
+            build_layout(
+                "columnar" if layout_name == "parquet" else layout_name,
+                schema,
+                fields,
+                rows=eager_rows,
+                record_row_counts=eager_counts or None,
+            )
+    except ValueError:
+        pass  # empty sample: nothing to build
+    caching_seconds += time.perf_counter() - build_started
+
+    now = time.perf_counter() - ctx.query_started
+    total_records = _estimate_total_records(source, sample_records, bytes_seen)
+    sample = AdmissionSample(
+        to1=to1,
+        tc1=tc1,
+        to2=now,
+        tc2=ctx.report.caching_time + caching_seconds,
+        sample_records=sample_records,
+        total_records=total_records,
+    )
+    if ctx.config.admission_extrapolation:
+        decision = recache.admission.decide(sample)
+    else:
+        decision = recache.admission.decide_naive(sample)
+    mode = "lazy" if decision is AdmissionDecision.LAZY else "eager"
+    return mode, caching_seconds
+
+
+def _admit(
+    ctx: ExecutionContext,
+    node: MaterializeNode,
+    source: DataSource,
+    mode: str,
+    layout_name: str,
+    fields: list[str],
+    nested: bool,
+    eager_rows: list[dict],
+    eager_records: list[dict],
+    eager_counts: list[int],
+    lazy_offsets: list[int],
+    elapsed: float,
+    caching_seconds: float,
+) -> float:
+    """Admit the materialized result into ReCache; returns extra caching time."""
+    recache = ctx.recache
+    assert recache is not None
+    extra = 0.0
+    if mode == "lazy":
+        operator_seconds = max(0.0, elapsed - caching_seconds)
+        entry = recache.admit_lazy(
+            source=node.source,
+            source_format=source.format,
+            predicate=node.predicate,
+            fields=fields,
+            offsets=lazy_offsets,
+            operator_time=operator_seconds,
+            caching_time=caching_seconds,
+        )
+        if entry is not None:
+            ctx.report.admissions["lazy"] += 1
+        return extra
+
+    build_started = time.perf_counter()
+    if nested and layout_name == "parquet":
+        layout = build_layout(layout_name, source.schema, fields, records=eager_records)
+    else:
+        schema = source.schema if nested else source.flattened_schema
+        layout = build_layout(
+            "columnar" if (nested and layout_name == "parquet") else layout_name,
+            schema,
+            fields,
+            rows=eager_rows,
+            record_row_counts=eager_counts or None,
+        )
+    extra = time.perf_counter() - build_started
+    operator_seconds = max(0.0, elapsed - caching_seconds - extra)
+    entry = recache.admit_eager(
+        source=node.source,
+        source_format=source.format,
+        predicate=node.predicate,
+        fields=fields,
+        layout=layout,
+        operator_time=operator_seconds,
+        caching_time=caching_seconds + extra,
+    )
+    if entry is not None:
+        ctx.report.admissions["eager"] += 1
+    return extra
+
+
+def _estimate_total_records(source: DataSource, sample_records: int, bytes_seen: int) -> int:
+    """Estimate the file's record count from the bytes consumed by the sample."""
+    if source.plugin.positional_map.complete:
+        return source.plugin.positional_map.record_count
+    if bytes_seen <= 0:
+        return sample_records
+    try:
+        file_size = source.file_size()
+    except OSError:
+        return sample_records
+    per_record = bytes_seen / sample_records
+    return max(sample_records, int(file_size / max(1.0, per_record)))
+
+
+def _iter_record_groups(source: DataSource, fields: list[str]):
+    """Yield ``(record, flattened_rows, approx_bytes)`` per raw record.
+
+    The record granularity is what admission sampling and lazy offsets operate
+    on: one CSV line or one JSON object per record.  ``record`` carries what a
+    materializer needs to build the complete cached tuple later: the parsed
+    JSON object for nested sources, the raw text line for CSV sources.  The
+    ``flattened_rows`` are restricted to ``fields`` (what the query itself
+    needs for filtering and aggregation).
+    """
+    wanted = set(fields)
+    if source.format == "json":
+        for record in source.scan_records():
+            rows = [
+                {key: row.get(key) for key in wanted}
+                for row in flatten_record(record, source.schema)
+            ]
+            approx = _approx_record_bytes(record)
+            yield record, rows, approx
+    else:
+        for line, row in source.plugin.scan_with_lines(fields or None):
+            yield line, [row], max(16, len(line))
+
+
+def _approx_record_bytes(record: dict) -> int:
+    total = 0
+    for value in record.values():
+        if isinstance(value, list):
+            total += 24 * max(1, len(value))
+        elif isinstance(value, str):
+            total += len(value)
+        else:
+            total += 8
+    return max(16, total)

@@ -1,0 +1,99 @@
+"""Physical operator building blocks: filtering, hash join, aggregation.
+
+These are deliberately simple, allocation-light functions over lists of
+dictionaries — the executor composes them per query after the compiler has
+specialized the predicates and aggregate accessors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.engine.compiler import CompiledAggregate
+
+
+def filter_rows(rows: Iterable[dict], predicate: Callable[[dict], bool] | None) -> list[dict]:
+    """Apply a compiled predicate to a row stream."""
+    if predicate is None:
+        return list(rows)
+    return [row for row in rows if predicate(row)]
+
+
+def project_rows(rows: Iterable[dict], fields: Sequence[str]) -> list[dict]:
+    """Restrict rows to the given fields (missing fields become ``None``)."""
+    wanted = list(fields)
+    return [{name: row.get(name) for name in wanted} for row in rows]
+
+
+def hash_join(
+    left_rows: Sequence[dict],
+    right_rows: Sequence[dict],
+    left_key: str,
+    right_key: str,
+) -> list[dict]:
+    """Equi-join two row lists with a classic build/probe hash join.
+
+    The smaller side is used as the build side.  Output rows merge both input
+    rows; on column-name collisions the probe side wins (the paper's TPC-H
+    style schemas have disjoint column names, so collisions do not arise in
+    practice).
+    """
+    if len(left_rows) <= len(right_rows):
+        build_rows, build_key = left_rows, left_key
+        probe_rows, probe_key = right_rows, right_key
+    else:
+        build_rows, build_key = right_rows, right_key
+        probe_rows, probe_key = left_rows, left_key
+
+    table: dict[object, list[dict]] = {}
+    for row in build_rows:
+        key = row.get(build_key)
+        if key is None:
+            continue
+        table.setdefault(key, []).append(row)
+
+    output: list[dict] = []
+    for row in probe_rows:
+        key = row.get(probe_key)
+        if key is None:
+            continue
+        matches = table.get(key)
+        if not matches:
+            continue
+        for match in matches:
+            merged = dict(match)
+            merged.update(row)
+            output.append(merged)
+    return output
+
+
+def aggregate_rows(
+    rows: Iterable[dict],
+    aggregates: Sequence[CompiledAggregate],
+    group_by: Sequence[str] = (),
+) -> list[dict]:
+    """Compute aggregates, optionally grouped by a list of columns."""
+    if not group_by:
+        for row in rows:
+            for aggregate in aggregates:
+                aggregate.update(row)
+        return [{agg.spec.output_name: agg.result() for agg in aggregates}]
+
+    groups: dict[tuple, list[CompiledAggregate]] = {}
+    keys = list(group_by)
+    for row in rows:
+        group_key = tuple(row.get(key) for key in keys)
+        state = groups.get(group_key)
+        if state is None:
+            state = [CompiledAggregate(agg.spec) for agg in aggregates]
+            groups[group_key] = state
+        for aggregate in state:
+            aggregate.update(row)
+
+    results = []
+    for group_key, state in groups.items():
+        row = dict(zip(keys, group_key))
+        for aggregate in state:
+            row[aggregate.spec.output_name] = aggregate.result()
+        results.append(row)
+    return results

@@ -1,0 +1,96 @@
+"""The high-level query engine session tying everything together.
+
+:class:`QueryEngine` is the public entry point of the library: register raw CSV
+and JSON files, then call :meth:`QueryEngine.execute` with declarative
+:class:`~repro.engine.query.Query` objects.  Each execution goes through the
+cache-aware optimizer and the instrumented executor, and returns a
+:class:`~repro.engine.executor.QueryReport` carrying the results and the timing
+breakdown the benchmarks consume.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.core.cache_manager import ReCache
+from repro.core.config import ReCacheConfig
+from repro.engine.executor import ExecutionContext, QueryReport, execute_plan
+from repro.engine.optimizer import PlanInfo, build_plan
+from repro.engine.query import Query
+from repro.engine.types import RecordType
+from repro.formats.datafile import DataSource, DataSourceCatalog
+
+
+class QueryEngine:
+    """Cache-accelerated query engine over raw heterogeneous data files."""
+
+    def __init__(self, config: ReCacheConfig | None = None, recache: ReCache | None = None) -> None:
+        self.config = config or ReCacheConfig()
+        self.recache = recache or ReCache(self.config)
+        self.catalog = DataSourceCatalog()
+        self.query_count = 0
+
+    # ------------------------------------------------------------------
+    # Data source registration
+    # ------------------------------------------------------------------
+    def register_csv(
+        self, name: str, path: str | Path, schema: RecordType, delimiter: str = "|"
+    ) -> DataSource:
+        """Register a CSV file as a queryable data source."""
+        return self.catalog.register_csv(name, path, schema, delimiter)
+
+    def register_json(self, name: str, path: str | Path, schema: RecordType) -> DataSource:
+        """Register a line-delimited JSON file as a queryable data source."""
+        return self.catalog.register_json(name, path, schema)
+
+    def register(self, source: DataSource) -> DataSource:
+        return self.catalog.register(source)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def plan(self, query: Query) -> PlanInfo:
+        """Build (but do not execute) the cache-aware plan for a query."""
+        return build_plan(query, self.catalog, self.recache)
+
+    def execute(self, query: Query) -> QueryReport:
+        """Execute a query and return its results plus execution report."""
+        report = QueryReport(label=query.label)
+        sequence = self.recache.begin_query()
+        started = time.perf_counter()
+
+        plan_info = build_plan(query, self.catalog, self.recache)
+        ctx = ExecutionContext(
+            catalog=self.catalog,
+            recache=self.recache,
+            config=self.config,
+            report=report,
+            sequence=sequence,
+            query_started=started,
+        )
+        results = execute_plan(plan_info.plan, ctx)
+
+        report.results = results
+        report.rows_returned = len(results)
+        report.total_time = time.perf_counter() - started
+        self.query_count += 1
+        return report
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache_stats(self):
+        """Aggregate cache-manager counters (hits, misses, evictions, ...)."""
+        return self.recache.stats
+
+    def cache_entries(self):
+        return self.recache.entries()
+
+    def cached_bytes(self) -> int:
+        return self.recache.total_bytes
+
+    def explain(self, query: Query) -> str:
+        """Return a human-readable plan for ``query`` without executing it."""
+        return self.plan(query).plan.pretty()

@@ -1,0 +1,160 @@
+"""CSV input plugin.
+
+Scans delimiter-separated text files, parsing only the fields a query needs
+(the typed parse of an untouched field is skipped entirely).  On the first full
+scan the plugin populates a :class:`~repro.formats.positional_map.PositionalMap`
+with record offsets, which later scans and lazy caches use to jump directly to
+individual records.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.engine.types import AtomType, RecordType
+from repro.formats.positional_map import PositionalMap
+
+
+class CSVPlugin:
+    """Reader for a single CSV file described by a flat relational schema."""
+
+    format_name = "csv"
+
+    def __init__(self, path: str | Path, schema: RecordType, delimiter: str = "|") -> None:
+        if not schema.is_flat():
+            raise ValueError("CSV schema must be flat (atoms only)")
+        self.path = Path(path)
+        self.schema = schema
+        self.delimiter = delimiter
+        self.positional_map = PositionalMap()
+        self._field_index = {f.name: i for i, f in enumerate(schema.fields)}
+        self._field_types: list[AtomType] = [f.dtype for f in schema.fields]  # type: ignore[misc]
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+    def scan(self, fields: Sequence[str] | None = None) -> Iterator[dict]:
+        """Yield parsed rows, restricted to ``fields`` when given.
+
+        The first scan also builds the record-level positional map as a side
+        effect; later scans reuse it implicitly through :meth:`read_records`.
+        """
+        wanted = self._resolve_fields(fields)
+        build_map = not self.positional_map.complete
+        offset = 0
+        with self.path.open("rb") as handle:
+            for raw_line in handle:
+                line = raw_line.rstrip(b"\r\n")
+                if build_map:
+                    self.positional_map.add_record(offset, len(line))
+                offset += len(raw_line)
+                if not line:
+                    continue
+                yield self._parse_line(line.decode("utf-8"), wanted)
+
+    def scan_with_lines(self, fields: Sequence[str] | None = None) -> Iterator[tuple[str, dict]]:
+        """Yield ``(raw_line, parsed_row)`` pairs, parsing only ``fields``.
+
+        The raw line is what a caching materializer needs to later parse the
+        *complete* tuple (all fields) without paying that cost for records that
+        do not satisfy the selection.
+        """
+        wanted = self._resolve_fields(fields)
+        build_map = not self.positional_map.complete
+        offset = 0
+        with self.path.open("rb") as handle:
+            for raw_line in handle:
+                line = raw_line.rstrip(b"\r\n")
+                if build_map:
+                    self.positional_map.add_record(offset, len(line))
+                offset += len(raw_line)
+                if not line:
+                    continue
+                decoded = line.decode("utf-8")
+                yield decoded, self._parse_line(decoded, wanted)
+
+    def parse_full(self, line: str) -> dict:
+        """Parse every field of one raw CSV line (the complete tuple)."""
+        return self._parse_line(line, self.schema.field_names())
+
+    def read_records(self, indexes: Iterable[int], fields: Sequence[str] | None = None) -> Iterator[dict]:
+        """Yield parsed rows for specific record ordinals via the positional map.
+
+        This is the access path used when a *lazy* cache (offsets of satisfying
+        tuples) is reused: instead of re-scanning and re-filtering the whole
+        file, only the recorded records are fetched and parsed.
+        """
+        if not self.positional_map.complete:
+            # Build the map with a cheap structural pass (no field parsing).
+            for _ in self.scan(fields=[]):
+                pass
+        wanted = self._resolve_fields(fields)
+        with self.path.open("rb") as handle:
+            for index in indexes:
+                offset, length = self.positional_map.record_span(index)
+                handle.seek(offset)
+                line = handle.read(length).decode("utf-8")
+                yield self._parse_line(line, wanted)
+
+    def read_record_rows(
+        self, indexes: Iterable[int], fields: Sequence[str] | None = None
+    ) -> Iterator[list[dict]]:
+        """Yield each requested record as a single-row list (CSV is flat)."""
+        for row in self.read_records(indexes, fields):
+            yield [row]
+
+    def record_count(self) -> int:
+        if not self.positional_map.complete:
+            for _ in self.scan(fields=[]):
+                pass
+        return self.positional_map.record_count
+
+    def file_size(self) -> int:
+        return self.path.stat().st_size
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve_fields(self, fields: Sequence[str] | None) -> list[str]:
+        if fields is None:
+            return self.schema.field_names()
+        unknown = [f for f in fields if f not in self._field_index]
+        if unknown:
+            raise KeyError(f"unknown CSV fields: {unknown}")
+        return list(fields)
+
+    def _parse_line(self, line: str, wanted: Sequence[str]) -> dict:
+        if not wanted:
+            return {}
+        values = line.split(self.delimiter)
+        row: dict = {}
+        for name in wanted:
+            index = self._field_index[name]
+            if index >= len(values):
+                row[name] = None
+                continue
+            text = values[index]
+            if text == "":
+                row[name] = None
+            else:
+                row[name] = self._field_types[index].parse(text)
+        return row
+
+
+def write_csv(path: str | Path, schema: RecordType, rows: Iterable[dict], delimiter: str = "|") -> int:
+    """Write ``rows`` to ``path`` in CSV form; returns the number of records."""
+    names = schema.field_names()
+    count = 0
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            values = []
+            for name in names:
+                value = row.get(name)
+                values.append("" if value is None else str(value))
+            handle.write(delimiter.join(values))
+            handle.write("\n")
+            count += 1
+    return count

@@ -1,0 +1,156 @@
+"""Schema inference for raw CSV and JSON files.
+
+The paper's engine knows its schemas up front (TPC-H, Symantec, Yelp), but a
+usable library also needs to ingest files whose schema is not declared.  The
+functions here sample the first records of a file and infer a
+:class:`~repro.engine.types.RecordType`:
+
+* CSV: each column's type is the narrowest of ``int``/``float``/``str`` that
+  parses every sampled value.
+* JSON: objects and arrays are mapped to record and list types recursively;
+  fields that only appear in some objects (the Symantec dataset's optional
+  fields) are still included, typed from the objects where they do appear.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.engine.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    AtomType,
+    DataType,
+    Field,
+    ListType,
+    RecordType,
+)
+
+
+def infer_csv_schema(
+    path: str | Path,
+    column_names: Sequence[str] | None = None,
+    delimiter: str = "|",
+    sample_records: int = 100,
+) -> RecordType:
+    """Infer a flat schema for a CSV file from its first ``sample_records`` rows."""
+    path = Path(path)
+    rows: list[list[str]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\r\n")
+            if not line:
+                continue
+            rows.append(line.split(delimiter))
+            if len(rows) >= sample_records:
+                break
+    if not rows:
+        raise ValueError(f"cannot infer schema of empty file: {path}")
+    width = max(len(row) for row in rows)
+    if column_names is None:
+        column_names = [f"c{i}" for i in range(width)]
+    elif len(column_names) < width:
+        raise ValueError(
+            f"{len(column_names)} column names given but file has {width} columns"
+        )
+    fields = []
+    for index, name in enumerate(column_names[:width]):
+        values = [row[index] for row in rows if index < len(row) and row[index] != ""]
+        fields.append(Field(name, _infer_atom(values)))
+    return RecordType(fields)
+
+
+def infer_json_schema(path: str | Path, sample_records: int = 100) -> RecordType:
+    """Infer a (possibly nested) schema from the first records of a JSON-lines file."""
+    path = Path(path)
+    records: list[dict] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            records.append(json.loads(line))
+            if len(records) >= sample_records:
+                break
+    if not records:
+        raise ValueError(f"cannot infer schema of empty file: {path}")
+    merged = _merge_types([_infer_value_type(record) for record in records])
+    if not isinstance(merged, RecordType):
+        raise ValueError("top-level JSON values must be objects")
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+def _infer_atom(values: Sequence[str]) -> AtomType:
+    if not values:
+        return STRING
+    if all(_parses_as(value, int) for value in values):
+        return INT
+    if all(_parses_as(value, float) for value in values):
+        return FLOAT
+    lowered = {value.strip().lower() for value in values}
+    if lowered <= {"true", "false", "t", "f", "0", "1", "yes", "no"}:
+        return BOOL
+    return STRING
+
+
+def _parses_as(text: str, python_type: type) -> bool:
+    try:
+        python_type(text)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+def _infer_value_type(value: object) -> DataType:
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, float):
+        return FLOAT
+    if isinstance(value, str):
+        return STRING
+    if value is None:
+        return STRING
+    if isinstance(value, list):
+        if not value:
+            return ListType(STRING)
+        return ListType(_merge_types([_infer_value_type(v) for v in value]))
+    if isinstance(value, dict):
+        return RecordType([Field(k, _infer_value_type(v)) for k, v in value.items()])
+    raise TypeError(f"unsupported JSON value: {value!r}")
+
+
+def _merge_types(types: Sequence[DataType]) -> DataType:
+    """Merge the types observed for the same position across several records."""
+    records = [t for t in types if isinstance(t, RecordType)]
+    lists = [t for t in types if isinstance(t, ListType)]
+    atoms = [t for t in types if isinstance(t, AtomType)]
+    if records:
+        merged_fields: dict[str, list[DataType]] = {}
+        order: list[str] = []
+        for record in records:
+            for field in record.fields:
+                if field.name not in merged_fields:
+                    merged_fields[field.name] = []
+                    order.append(field.name)
+                merged_fields[field.name].append(field.dtype)
+        return RecordType([Field(name, _merge_types(merged_fields[name])) for name in order])
+    if lists:
+        return ListType(_merge_types([t.element for t in lists]))
+    if not atoms:
+        return STRING
+    if all(a == INT for a in atoms):
+        return INT
+    if all(a in (INT, FLOAT) for a in atoms):
+        return FLOAT
+    if all(a == BOOL for a in atoms):
+        return BOOL
+    return STRING

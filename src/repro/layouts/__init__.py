@@ -1,0 +1,40 @@
+"""In-memory cache layouts.
+
+ReCache caches operator results in one of three layouts and switches between
+them reactively (Section 4 of the paper):
+
+* :class:`~repro.layouts.row.RowLayout` — relational row-oriented storage of
+  flattened tuples,
+* :class:`~repro.layouts.columnar.ColumnarLayout` — relational column-oriented
+  storage of flattened tuples,
+* :class:`~repro.layouts.parquet.ParquetLayout` — a Dremel/Parquet-style
+  striped layout of the original nested records (values plus repetition and
+  definition levels, reassembled with a finite-state machine).
+
+All layouts implement the :class:`~repro.layouts.base.CacheLayout` interface so
+the cache manager, layout selector and eviction policies can treat them
+uniformly.
+"""
+
+from repro.layouts.base import CacheLayout, estimate_value_bytes
+from repro.layouts.columnar import ColumnarLayout
+from repro.layouts.row import RowLayout
+from repro.layouts.parquet import ParquetLayout
+from repro.layouts.striping import StripedColumn, stripe_records
+from repro.layouts.assembly import assemble_rows, assemble_records
+from repro.layouts.convert import build_layout, convert_layout, LAYOUT_NAMES
+
+__all__ = [
+    "CacheLayout",
+    "ColumnarLayout",
+    "RowLayout",
+    "ParquetLayout",
+    "StripedColumn",
+    "stripe_records",
+    "assemble_rows",
+    "assemble_records",
+    "build_layout",
+    "convert_layout",
+    "LAYOUT_NAMES",
+    "estimate_value_bytes",
+]

@@ -1,0 +1,201 @@
+"""Parquet/Dremel-style nested columnar cache layout.
+
+The default layout for caches of nested data (Section 4.2): it is cheap to
+*build* (no duplication of parent attributes, hence far fewer memory writes —
+Figure 6) and cheap to *scan* when only non-nested attributes are requested
+(parent columns are short — Figure 1, second half), but pays a per-value
+level-interpretation cost when nested attributes must be reassembled into
+rows (Figures 1 and 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.engine.types import RecordType
+from repro.layouts.assembly import assemble_records, assemble_rows, repetition_group
+from repro.layouts.base import CacheLayout, estimate_value_bytes
+from repro.layouts.striping import StripedColumn, stripe_records
+
+
+class ParquetLayout(CacheLayout):
+    """Striped storage of nested records with FSM-based row assembly."""
+
+    layout_name = "parquet"
+
+    def __init__(
+        self,
+        schema: RecordType,
+        fields: Sequence[str],
+        columns: dict[str, StripedColumn],
+        record_count: int,
+    ) -> None:
+        super().__init__(schema, fields)
+        self._columns = columns
+        self._record_count = record_count
+        self._nbytes = sum(
+            sum(estimate_value_bytes(v) for v in col.values)
+            # one byte each for the repetition and definition levels
+            + 2 * col.entry_count
+            for col in columns.values()
+        )
+        self._flattened_rows = self._compute_flattened_rows()
+        #: lazily built float64 views of *non-nested* columns (one entry per
+        #: record), enabling vectorized range filters on parent attributes
+        self._numeric_arrays: dict[str, np.ndarray | None] = {}
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[dict],
+        schema: RecordType,
+        fields: Sequence[str],
+    ) -> "ParquetLayout":
+        """Stripe nested records into columns for the requested leaf paths."""
+        columns = stripe_records(records, schema, fields)
+        return cls(schema, list(fields), columns, len(records))
+
+    # -- CacheLayout API ------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    @property
+    def flattened_row_count(self) -> int:
+        return self._flattened_rows
+
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    def columns(self) -> dict[str, StripedColumn]:
+        """Direct access to the striped columns (used by conversion/tests)."""
+        return self._columns
+
+    def scan(
+        self,
+        fields: Sequence[str] | None = None,
+        predicate: Callable[[dict], bool] | None = None,
+    ) -> Iterator[dict]:
+        """Yield flattened rows for ``fields``.
+
+        When every requested field is non-nested, the scan walks only the
+        short parent-level columns (one entry per record).  Otherwise it runs
+        the full level-interpreting assembly, which is the computationally
+        expensive path the layout selector measures as ``C``.
+        """
+        wanted = list(fields) if fields is not None else list(self.fields)
+        missing = [f for f in wanted if f not in self._columns]
+        if missing:
+            raise KeyError(f"columns not cached: {missing}")
+        if wanted and all(not self._columns[f].is_nested for f in wanted):
+            yield from self._scan_flat(wanted, predicate)
+            return
+        for row in assemble_rows(self._columns, self.schema, wanted):
+            if predicate is None or predicate(row):
+                yield row
+
+    def scan_records(self, fields: Sequence[str] | None = None) -> Iterator[dict]:
+        """Reconstruct (partial) nested records — used for layout conversion."""
+        wanted = list(fields) if fields is not None else list(self.fields)
+        return assemble_records(self._columns, self.schema, wanted)
+
+    def rows(self) -> Iterator[dict]:
+        return self.scan()
+
+    # -- vectorized range filtering (non-nested columns only) ------------------
+    def numeric_array(self, name: str) -> np.ndarray | None:
+        """A float64 view of a non-nested column (one value per record)."""
+        if name not in self._numeric_arrays:
+            column = self._columns.get(name)
+            if column is None or column.is_nested:
+                self._numeric_arrays[name] = None
+            else:
+                values = []
+                for record_index in range(self._record_count):
+                    start, end = column.record_entries(record_index)
+                    if end > start and column.definition_levels[start] == column.max_definition:
+                        values.append(column.values[start])
+                    else:
+                        values.append(None)
+                try:
+                    self._numeric_arrays[name] = np.array(
+                        [np.nan if value is None else value for value in values],
+                        dtype=np.float64,
+                    )
+                except (TypeError, ValueError):
+                    self._numeric_arrays[name] = None
+        return self._numeric_arrays[name]
+
+    def supports_range_filter(self, fields: Sequence[str]) -> bool:
+        """True when every field is a non-nested numeric column of this cache."""
+        return all(self.numeric_array(field) is not None for field in fields)
+
+    def scan_range_filtered(
+        self,
+        ranges: Mapping[str, tuple[float, float]],
+        fields: Sequence[str] | None = None,
+    ) -> Iterator[dict]:
+        """Vectorized range filter over the short parent-level columns.
+
+        Only valid when the filtered *and* projected fields are all non-nested
+        (callers check :meth:`supports_range_filter` first); nested access goes
+        through the level-interpreting :meth:`scan`.
+        """
+        wanted = list(fields) if fields is not None else list(self.fields)
+        arrays = {}
+        for field in set(wanted) | set(ranges):
+            array = self.numeric_array(field)
+            if array is None:
+                raise ValueError(f"column {field!r} is nested or non-numeric; use scan() instead")
+            arrays[field] = array
+        mask = np.ones(self._record_count, dtype=bool)
+        for field, (low, high) in ranges.items():
+            mask &= (arrays[field] >= low) & (arrays[field] <= high)
+        projected = [self._columns[name] for name in wanted]
+        for index in np.nonzero(mask)[0]:
+            row = {}
+            for name, column in zip(wanted, projected):
+                start, end = column.record_entries(index)
+                if end > start and column.definition_levels[start] == column.max_definition:
+                    row[name] = column.values[start]
+                else:
+                    row[name] = None
+            yield row
+
+    # -- internals ------------------------------------------------------------
+    def _scan_flat(
+        self, wanted: Sequence[str], predicate: Callable[[dict], bool] | None
+    ) -> Iterator[dict]:
+        cols = [self._columns[f] for f in wanted]
+        for record_index in range(self._record_count):
+            row: dict = {}
+            for name, column in zip(wanted, cols):
+                start, end = column.record_entries(record_index)
+                if end > start and column.definition_levels[start] == column.max_definition:
+                    row[name] = column.values[start]
+                else:
+                    row[name] = None
+            if predicate is None or predicate(row):
+                yield row
+
+    def _compute_flattened_rows(self) -> int:
+        """Number of rows the cached data would occupy if flattened (``R``)."""
+        nested_columns_by_group: dict[str, StripedColumn] = {}
+        for path, column in self._columns.items():
+            if column.is_nested:
+                group = repetition_group(self.schema, path)
+                nested_columns_by_group.setdefault(group or path, column)
+        if not nested_columns_by_group:
+            return self._record_count
+        total = 0
+        representatives = list(nested_columns_by_group.values())
+        for record_index in range(self._record_count):
+            rows = 1
+            for column in representatives:
+                start, end = column.record_entries(record_index)
+                rows *= max(1, end - start)
+            total += rows
+        return total

@@ -1,0 +1,92 @@
+"""Relational row-oriented cache layout.
+
+Stores flattened tuples as Python tuples in row order.  Row layouts win when
+queries touch most attributes of each tuple (Section 4.3); ReCache's
+H2O-style row-vs-column selector estimates data-cache misses to decide when to
+use it for flat relational caches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.engine.types import RecordType
+from repro.layouts.base import CacheLayout, estimate_value_bytes
+
+
+class RowLayout(CacheLayout):
+    """Row-major storage of flattened tuples."""
+
+    layout_name = "row"
+
+    def __init__(
+        self,
+        schema: RecordType,
+        fields: Sequence[str],
+        rows: Sequence[dict],
+        record_row_counts: Sequence[int] | None = None,
+    ) -> None:
+        super().__init__(schema, fields)
+        self._tuples: list[tuple] = [tuple(row.get(f) for f in self.fields) for row in rows]
+        self._field_index = {name: i for i, name in enumerate(self.fields)}
+        self._record_row_counts = list(record_row_counts) if record_row_counts else None
+        self._nbytes = sum(
+            sum(estimate_value_bytes(v) for v in tup) for tup in self._tuples
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[dict],
+        schema: RecordType,
+        fields: Sequence[str],
+        record_row_counts: Sequence[int] | None = None,
+    ) -> "RowLayout":
+        return cls(schema, fields, rows, record_row_counts)
+
+    # -- CacheLayout API ------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    @property
+    def flattened_row_count(self) -> int:
+        return len(self._tuples)
+
+    @property
+    def record_count(self) -> int:
+        if self._record_row_counts is not None:
+            return len(self._record_row_counts)
+        return len(self._tuples)
+
+    @property
+    def record_row_counts(self) -> list[int] | None:
+        """Rows contributed by each original nested record (None for flat data)."""
+        return self._record_row_counts
+
+    def scan(
+        self,
+        fields: Sequence[str] | None = None,
+        predicate: Callable[[dict], bool] | None = None,
+        dedupe_records: bool = False,
+    ) -> Iterator[dict]:
+        """Yield rows for ``fields``; ``dedupe_records`` keeps one row per record."""
+        wanted = list(fields) if fields is not None else list(self.fields)
+        indexes = [self._field_index[f] for f in wanted]
+        first_rows: set[int] | None = None
+        if dedupe_records and self._record_row_counts is not None:
+            first_rows = set()
+            cursor = 0
+            for count in self._record_row_counts:
+                first_rows.add(cursor)
+                cursor += max(1, count)
+        for position, tup in enumerate(self._tuples):
+            if first_rows is not None and position not in first_rows:
+                continue
+            row = {name: tup[idx] for name, idx in zip(wanted, indexes)}
+            if predicate is None or predicate(row):
+                yield row
+
+    def rows(self) -> Iterator[dict]:
+        """Yield every cached row with all cached fields (no filtering)."""
+        return self.scan()

@@ -1,0 +1,209 @@
+"""Dremel-style column striping for nested records.
+
+Implements the "column striping" half of the Parquet layout described in
+Section 4 of the paper: each leaf field of a nested schema is stored in its own
+column without duplication, and every column entry carries two small integers —
+a *repetition level* (at which repeated ancestor the value repeats) and a
+*definition level* (how many of its optional/repeated ancestors are actually
+present).  Non-nested columns end up with exactly one entry per record, which
+is what makes them "short" and cheap to scan; nested columns carry one entry
+per element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.engine.types import (
+    AtomType,
+    DataType,
+    Field,
+    ListType,
+    RecordType,
+)
+
+
+@dataclass
+class StripedColumn:
+    """One striped leaf column: values plus repetition/definition levels."""
+
+    path: str
+    max_repetition: int
+    max_definition: int
+    values: list = field(default_factory=list)
+    repetition_levels: list[int] = field(default_factory=list)
+    definition_levels: list[int] = field(default_factory=list)
+    #: per-record (start, end) entry ranges, filled in by ``stripe_records``
+    record_ranges: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def is_nested(self) -> bool:
+        return self.max_repetition > 0
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.values)
+
+    def append(self, value, repetition: int, definition: int) -> None:
+        self.values.append(value)
+        self.repetition_levels.append(repetition)
+        self.definition_levels.append(definition)
+
+    def record_entries(self, record_index: int) -> tuple[int, int]:
+        """Return the (start, end) entry range belonging to one record."""
+        return self.record_ranges[record_index]
+
+
+def prune_schema(schema: RecordType, paths: Sequence[str]) -> RecordType:
+    """Return a copy of ``schema`` containing only the given leaf paths."""
+    wanted = set(paths)
+    pruned = _prune(schema, "", wanted)
+    if pruned is None:
+        return RecordType([])
+    assert isinstance(pruned, RecordType)
+    return pruned
+
+
+def _prune(dtype: DataType, prefix: str, wanted: set[str]) -> DataType | None:
+    if isinstance(dtype, AtomType):
+        return dtype if prefix in wanted else None
+    if isinstance(dtype, ListType):
+        inner = _prune(dtype.element, prefix, wanted)
+        return ListType(inner) if inner is not None else None
+    if isinstance(dtype, RecordType):
+        fields = []
+        for f in dtype.fields:
+            child_prefix = f"{prefix}.{f.name}" if prefix else f.name
+            inner = _prune(f.dtype, child_prefix, wanted)
+            if inner is not None:
+                fields.append(Field(f.name, inner))
+        return RecordType(fields) if fields else None
+    raise TypeError(f"unsupported data type: {dtype!r}")
+
+
+def column_levels(schema: RecordType, path: str) -> tuple[int, int]:
+    """Return ``(max_repetition, max_definition)`` for a leaf path."""
+    max_rep = 0
+    max_def = 0
+    current: DataType = schema
+    for part in path.split("."):
+        while isinstance(current, ListType):
+            max_rep += 1
+            max_def += 1
+            current = current.element
+        if not isinstance(current, RecordType):
+            raise KeyError(f"path {path!r} descends into non-record type")
+        current = current.field(part).dtype
+        max_def += 1  # every field is treated as optional
+    while isinstance(current, ListType):
+        max_rep += 1
+        max_def += 1
+        current = current.element
+    return max_rep, max_def
+
+
+def stripe_records(
+    records: Sequence[dict],
+    schema: RecordType,
+    fields: Sequence[str] | None = None,
+) -> dict[str, StripedColumn]:
+    """Shred nested records into striped columns for the requested leaf paths."""
+    if fields is None:
+        fields = schema.leaf_paths()
+    pruned = prune_schema(schema, fields)
+    columns: dict[str, StripedColumn] = {}
+    for path in fields:
+        max_rep, max_def = column_levels(schema, path)
+        columns[path] = StripedColumn(path, max_rep, max_def)
+
+    for record in records:
+        starts = {path: col.entry_count for path, col in columns.items()}
+        _stripe_record(record, pruned, "", 0, 0, 0, columns)
+        for path, col in columns.items():
+            col.record_ranges.append((starts[path], col.entry_count))
+    return columns
+
+
+def _stripe_record(
+    value: object,
+    dtype: DataType,
+    prefix: str,
+    repetition: int,
+    definition: int,
+    repeated_depth: int,
+    columns: dict[str, StripedColumn],
+) -> None:
+    """Recursively emit striped entries for ``value`` of type ``dtype``."""
+    if isinstance(dtype, AtomType):
+        column = columns.get(prefix)
+        if column is None:
+            return
+        if value is None:
+            column.append(None, repetition, definition)
+        else:
+            column.append(value, repetition, definition + 1)
+        return
+
+    if isinstance(dtype, RecordType):
+        if prefix:
+            definition = definition + 1 if value is not None else definition
+        record = value if isinstance(value, dict) else {}
+        for f in dtype.fields:
+            child_prefix = f"{f.name}" if not prefix else f"{prefix}.{f.name}"
+            _stripe_record(
+                record.get(f.name),
+                f.dtype,
+                child_prefix,
+                repetition,
+                definition,
+                repeated_depth,
+                columns,
+            )
+        return
+
+    if isinstance(dtype, ListType):
+        elements = value if isinstance(value, (list, tuple)) and value else None
+        if elements is None:
+            # Empty or missing list: one placeholder entry at the current
+            # definition level for every leaf beneath this path.
+            _emit_nulls(dtype.element, prefix, repetition, definition, columns)
+            return
+        list_rep = repeated_depth + 1
+        for index, element in enumerate(elements):
+            element_rep = repetition if index == 0 else list_rep
+            _stripe_record(
+                element,
+                dtype.element,
+                prefix,
+                element_rep,
+                definition + 1,
+                list_rep,
+                columns,
+            )
+        return
+
+    raise TypeError(f"unsupported data type: {dtype!r}")
+
+
+def _emit_nulls(
+    dtype: DataType,
+    prefix: str,
+    repetition: int,
+    definition: int,
+    columns: dict[str, StripedColumn],
+) -> None:
+    if isinstance(dtype, AtomType):
+        column = columns.get(prefix)
+        if column is not None:
+            column.append(None, repetition, definition)
+        return
+    if isinstance(dtype, ListType):
+        _emit_nulls(dtype.element, prefix, repetition, definition, columns)
+        return
+    if isinstance(dtype, RecordType):
+        for f in dtype.fields:
+            child_prefix = f"{f.name}" if not prefix else f"{prefix}.{f.name}"
+            _emit_nulls(f.dtype, child_prefix, repetition, definition, columns)
+        return
+    raise TypeError(f"unsupported data type: {dtype!r}")

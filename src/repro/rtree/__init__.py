@@ -1,0 +1,12 @@
+"""Balanced R-tree used by ReCache's query-subsumption index.
+
+ReCache maintains one spatial index per (relation, numeric field) pair and
+inserts the bounding box of every cached range predicate into it (Section 3.3
+of the paper).  Looking up the caches whose predicate fully covers a new
+predicate is then logarithmic in the number of cached items instead of linear.
+"""
+
+from repro.rtree.geometry import Rect
+from repro.rtree.rtree import RTree
+
+__all__ = ["Rect", "RTree"]

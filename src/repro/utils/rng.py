@@ -1,0 +1,35 @@
+"""Deterministic random-number helpers.
+
+Every workload and dataset generator in the repository accepts a ``seed`` so
+that experiments are reproducible run-to-run.  ``make_rng`` centralizes the
+construction so that passing either a seed or an existing ``random.Random``
+instance behaves consistently everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed_or_rng: int | random.Random | None) -> random.Random:
+    """Return a ``random.Random`` from a seed, an existing RNG, or ``None``.
+
+    ``None`` maps to a fixed default seed (not the global RNG) so that callers
+    who omit the argument still get deterministic behaviour.
+    """
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    if seed_or_rng is None:
+        seed_or_rng = 0xC0FFEE
+    return random.Random(seed_or_rng)
+
+
+def spawn(rng: random.Random, label: str) -> random.Random:
+    """Derive an independent child RNG from ``rng`` for the given label.
+
+    Used by generators that need several independent random streams (e.g. one
+    per table) without the streams interfering when one of them draws a
+    different number of values.
+    """
+    seed = rng.getrandbits(48) ^ (hash(label) & 0xFFFFFFFF)
+    return random.Random(seed)

@@ -1,0 +1,33 @@
+"""Human-readable formatting helpers for report output."""
+
+from __future__ import annotations
+
+_BYTE_UNITS = ["B", "KiB", "MiB", "GiB", "TiB"]
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Format a byte count using binary units (e.g. ``1.50 MiB``)."""
+    if num_bytes < 0:
+        raise ValueError("byte count must be non-negative")
+    value = float(num_bytes)
+    for unit in _BYTE_UNITS:
+        if value < 1024.0 or unit == _BYTE_UNITS[-1]:
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration with a unit adapted to its magnitude."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.3f} s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rem:04.1f}s"

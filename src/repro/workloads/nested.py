@@ -1,0 +1,121 @@
+"""Synthetic nested datasets for the layout micro-experiments (Section 4.1).
+
+Two generators live here:
+
+* :func:`synthetic_order_lineitems` — uniform-random records in the
+  orderLineitems shape, used when the experiment does not need the TPC-H value
+  distributions (and is faster to generate).
+* :func:`cardinality_sweep_records` — records whose nested array has a fixed,
+  sweepable cardinality; Figures 5 and 6 sweep this cardinality from 0 to 20 to
+  compare Parquet and relational columnar scan/build costs.
+"""
+
+from __future__ import annotations
+
+from repro.engine.types import FLOAT, INT, Field, ListType, RecordType
+from repro.utils.rng import make_rng
+from repro.workloads.tpch import ORDER_LINEITEMS_SCHEMA
+
+__all__ = [
+    "ORDER_LINEITEMS_SCHEMA",
+    "CARDINALITY_SWEEP_SCHEMA",
+    "synthetic_order_lineitems",
+    "cardinality_sweep_records",
+]
+
+#: schema of the cardinality-sweep dataset: a handful of parent fields plus a
+#: nested array of small records, mirroring the orderLineitems shape
+CARDINALITY_SWEEP_SCHEMA = RecordType(
+    [
+        Field("record_id", INT),
+        Field("group_key", INT),
+        Field("value_a", FLOAT),
+        Field("value_b", FLOAT),
+        Field(
+            "items",
+            ListType(
+                RecordType(
+                    [
+                        Field("item_key", INT),
+                        Field("metric_x", FLOAT),
+                        Field("metric_y", FLOAT),
+                        Field("metric_z", FLOAT),
+                    ]
+                )
+            ),
+        ),
+    ]
+)
+
+
+def synthetic_order_lineitems(
+    num_orders: int,
+    average_lineitems: int = 4,
+    seed: int = 7,
+) -> list[dict]:
+    """Uniform-random nested records in the orderLineitems schema."""
+    if num_orders <= 0:
+        raise ValueError("num_orders must be positive")
+    rng = make_rng(seed)
+    records = []
+    for orderkey in range(1, num_orders + 1):
+        count = max(0, int(rng.gauss(average_lineitems, 1.5)))
+        lineitems = [
+            {
+                "l_partkey": rng.randint(1, 10_000),
+                "l_suppkey": rng.randint(1, 1_000),
+                "l_quantity": float(rng.randint(1, 50)),
+                "l_extendedprice": round(rng.uniform(900.0, 105_000.0), 2),
+                "l_discount": round(rng.uniform(0.0, 0.1), 2),
+                "l_tax": round(rng.uniform(0.0, 0.08), 2),
+                "l_shipdate": rng.randint(8036, 10591),
+            }
+            for _ in range(count)
+        ]
+        records.append(
+            {
+                "o_orderkey": orderkey,
+                "o_custkey": rng.randint(1, 10_000),
+                "o_totalprice": round(rng.uniform(850.0, 560_000.0), 2),
+                "o_orderdate": rng.randint(8036, 10591),
+                "o_shippriority": rng.randint(0, 4),
+                "lineitems": lineitems,
+            }
+        )
+    # The schema check in DESIGN relies on every record carrying the same shape.
+    assert records, "generator produced no records"
+    return records
+
+
+def cardinality_sweep_records(
+    num_records: int,
+    cardinality: int,
+    seed: int = 11,
+) -> list[dict]:
+    """Records whose nested ``items`` array has exactly ``cardinality`` elements."""
+    if num_records <= 0:
+        raise ValueError("num_records must be positive")
+    if cardinality < 0:
+        raise ValueError("cardinality must be non-negative")
+    rng = make_rng(seed * 1000 + cardinality)
+    records = []
+    for record_id in range(num_records):
+        items = [
+            {
+                "item_key": rng.randint(0, 1_000_000),
+                "metric_x": rng.random(),
+                "metric_y": rng.random() * 100.0,
+                "metric_z": rng.random() * 10_000.0,
+            }
+            for _ in range(cardinality)
+        ]
+        records.append(
+            {
+                "record_id": record_id,
+                "group_key": rng.randint(0, 100),
+                "value_a": rng.random(),
+                "value_b": rng.random() * 1000.0,
+                "items": items,
+            }
+        )
+    return records

@@ -1,0 +1,166 @@
+"""Synthetic stand-in for the Symantec spam-email dataset (Section 6).
+
+The real dataset is proprietary.  The paper describes its relevant properties:
+JSON objects with (i) numeric and variable-length string fields, (ii) flat and
+nested entries of various depths, (iii) fields that exist only in a subset of
+the objects, plus companion CSV files produced by a data-mining engine (an
+identifier per email, summary information and assigned classes).  The
+generator below reproduces exactly those structural properties.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.engine.types import FLOAT, INT, STRING, Field, ListType, RecordType
+from repro.formats.csv_plugin import write_csv
+from repro.formats.json_plugin import write_json_lines
+from repro.utils.rng import make_rng
+
+#: JSON component: one object per spam email
+SYMANTEC_JSON_SCHEMA = RecordType(
+    [
+        Field("email_id", INT),
+        Field("size_bytes", INT),
+        Field("spam_score", FLOAT),
+        Field("hour", INT),
+        Field("country_code", INT),
+        Field("lang", STRING),
+        Field("content_type", STRING),
+        # optional field: present in roughly half of the objects
+        Field("subject_length", INT),
+        Field(
+            "origin",
+            RecordType(
+                [
+                    Field("ip_prefix", INT),
+                    Field("asn", INT),
+                    Field("reputation", FLOAT),
+                ]
+            ),
+        ),
+        Field(
+            "urls",
+            ListType(
+                RecordType(
+                    [
+                        Field("domain_hash", INT),
+                        Field("port", INT),
+                        Field("reputation", FLOAT),
+                        Field("path_length", INT),
+                    ]
+                )
+            ),
+        ),
+    ]
+)
+
+#: CSV component: per-email classification output of the mining engine
+SYMANTEC_CSV_SCHEMA = RecordType(
+    [
+        Field("email_id", INT),
+        Field("class_id", INT),
+        Field("confidence", FLOAT),
+        Field("summary_length", INT),
+        Field("cluster", INT),
+    ]
+)
+
+SYMANTEC_FIELD_RANGES: dict[str, dict[str, tuple[float, float]]] = {
+    "spam_json": {
+        "size_bytes": (200.0, 60000.0),
+        "spam_score": (0.0, 1.0),
+        "hour": (0.0, 23.0),
+        "country_code": (1.0, 250.0),
+        "subject_length": (0.0, 200.0),
+        "origin.ip_prefix": (0.0, 255.0),
+        "origin.asn": (1.0, 65000.0),
+        "origin.reputation": (0.0, 1.0),
+        "urls.domain_hash": (0.0, 1_000_000.0),
+        "urls.port": (1.0, 65535.0),
+        "urls.reputation": (0.0, 1.0),
+        "urls.path_length": (0.0, 120.0),
+    },
+    "spam_csv": {
+        "email_id": (1.0, 10_000_000.0),
+        "class_id": (0.0, 40.0),
+        "confidence": (0.0, 1.0),
+        "summary_length": (0.0, 500.0),
+        "cluster": (0.0, 1000.0),
+    },
+}
+
+_LANGS = ["en", "ru", "zh", "es", "pt", "de", "fr", "ja"]
+_CONTENT_TYPES = ["text/plain", "text/html", "multipart/mixed", "multipart/alternative"]
+
+
+def spam_json_records(num_records: int, seed: int = 23) -> list[dict]:
+    """Generate nested spam-email JSON objects with optional fields."""
+    rng = make_rng(seed)
+    records = []
+    for email_id in range(1, num_records + 1):
+        urls = [
+            {
+                "domain_hash": rng.randint(0, 1_000_000),
+                "port": rng.choice([80, 443, 8080, rng.randint(1024, 65535)]),
+                "reputation": round(rng.random(), 3),
+                "path_length": rng.randint(0, 120),
+            }
+            for _ in range(rng.randint(0, 6))
+        ]
+        record = {
+            "email_id": email_id,
+            "size_bytes": rng.randint(200, 60000),
+            "spam_score": round(rng.random(), 4),
+            "hour": rng.randint(0, 23),
+            "country_code": rng.randint(1, 250),
+            "lang": rng.choice(_LANGS),
+            "content_type": rng.choice(_CONTENT_TYPES),
+            "origin": {
+                "ip_prefix": rng.randint(0, 255),
+                "asn": rng.randint(1, 65000),
+                "reputation": round(rng.random(), 3),
+            },
+            "urls": urls,
+        }
+        # The optional field: present in ~50% of objects (property iii).
+        if rng.random() < 0.5:
+            record["subject_length"] = rng.randint(0, 200)
+        records.append(record)
+    return records
+
+
+def spam_csv_rows(num_records: int, seed: int = 29) -> list[dict]:
+    """Generate the flat classification CSV that accompanies the JSON logs."""
+    rng = make_rng(seed)
+    rows = []
+    for email_id in range(1, num_records + 1):
+        rows.append(
+            {
+                "email_id": email_id,
+                "class_id": rng.randint(0, 40),
+                "confidence": round(rng.random(), 4),
+                "summary_length": rng.randint(0, 500),
+                "cluster": rng.randint(0, 1000),
+            }
+        )
+    return rows
+
+
+def write_symantec_dataset(
+    directory: str | Path,
+    json_records: int = 2000,
+    csv_records: int = 8000,
+    seed: int = 23,
+) -> dict[str, Path]:
+    """Write the synthetic Symantec-style JSON and CSV files.
+
+    Returns ``{"spam_json": ..., "spam_csv": ...}`` paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    json_path = directory / "spam.json"
+    csv_path = directory / "spam_classes.csv"
+    write_json_lines(json_path, spam_json_records(json_records, seed=seed))
+    write_csv(csv_path, SYMANTEC_CSV_SCHEMA, spam_csv_rows(csv_records, seed=seed + 1))
+    return {"spam_json": json_path, "spam_csv": csv_path}

@@ -1,0 +1,345 @@
+"""TPC-H-style data generation at laptop scale.
+
+The paper's evaluation uses TPC-H SF-10 CSV files (60M lineitems) plus JSON
+conversions of ``lineitem`` and ``orders`` and a nested ``orderLineitems`` file
+that maps each order to the list of its lineitems.  The generator here produces
+the same schemas, key relationships and value distributions deterministically
+from a seed, at whatever scale fits the test or benchmark at hand (the default
+``scale_factor=0.001`` yields 6 000 lineitems).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.engine.types import FLOAT, INT, STRING, Field, ListType, RecordType
+from repro.formats.csv_plugin import write_csv
+from repro.formats.json_plugin import write_json_lines
+from repro.utils.rng import make_rng, spawn
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+LINEITEM_SCHEMA = RecordType(
+    [
+        Field("l_orderkey", INT),
+        Field("l_partkey", INT),
+        Field("l_suppkey", INT),
+        Field("l_linenumber", INT),
+        Field("l_quantity", FLOAT),
+        Field("l_extendedprice", FLOAT),
+        Field("l_discount", FLOAT),
+        Field("l_tax", FLOAT),
+        Field("l_shipdate", INT),
+        Field("l_commitdate", INT),
+        Field("l_receiptdate", INT),
+        Field("l_returnflag", STRING),
+    ]
+)
+
+ORDERS_SCHEMA = RecordType(
+    [
+        Field("o_orderkey", INT),
+        Field("o_custkey", INT),
+        Field("o_totalprice", FLOAT),
+        Field("o_orderdate", INT),
+        Field("o_shippriority", INT),
+        Field("o_orderstatus", STRING),
+    ]
+)
+
+CUSTOMER_SCHEMA = RecordType(
+    [
+        Field("c_custkey", INT),
+        Field("c_nationkey", INT),
+        Field("c_acctbal", FLOAT),
+        Field("c_mktsegment", STRING),
+    ]
+)
+
+PART_SCHEMA = RecordType(
+    [
+        Field("p_partkey", INT),
+        Field("p_size", INT),
+        Field("p_retailprice", FLOAT),
+        Field("p_brand", STRING),
+    ]
+)
+
+PARTSUPP_SCHEMA = RecordType(
+    [
+        Field("ps_partkey", INT),
+        Field("ps_suppkey", INT),
+        Field("ps_availqty", INT),
+        Field("ps_supplycost", FLOAT),
+    ]
+)
+
+TPCH_SCHEMAS: dict[str, RecordType] = {
+    "lineitem": LINEITEM_SCHEMA,
+    "orders": ORDERS_SCHEMA,
+    "customer": CUSTOMER_SCHEMA,
+    "part": PART_SCHEMA,
+    "partsupp": PARTSUPP_SCHEMA,
+}
+
+#: the nested orderLineitems schema of Section 4.1: one record per order with a
+#: list of its lineitems
+ORDER_LINEITEMS_SCHEMA = RecordType(
+    [
+        Field("o_orderkey", INT),
+        Field("o_custkey", INT),
+        Field("o_totalprice", FLOAT),
+        Field("o_orderdate", INT),
+        Field("o_shippriority", INT),
+        Field(
+            "lineitems",
+            ListType(
+                RecordType(
+                    [
+                        Field("l_partkey", INT),
+                        Field("l_suppkey", INT),
+                        Field("l_quantity", FLOAT),
+                        Field("l_extendedprice", FLOAT),
+                        Field("l_discount", FLOAT),
+                        Field("l_tax", FLOAT),
+                        Field("l_shipdate", INT),
+                    ]
+                )
+            ),
+        ),
+    ]
+)
+
+#: numeric value ranges of every TPC-H column, used by the workload generators
+#: to draw range predicates with controlled selectivity
+TPCH_FIELD_RANGES: dict[str, dict[str, tuple[float, float]]] = {
+    "lineitem": {
+        "l_quantity": (1.0, 50.0),
+        "l_extendedprice": (900.0, 105000.0),
+        "l_discount": (0.0, 0.1),
+        "l_tax": (0.0, 0.08),
+        "l_shipdate": (8036, 10591),
+        "l_commitdate": (8006, 10621),
+        "l_receiptdate": (8037, 10621),
+    },
+    "orders": {
+        "o_totalprice": (850.0, 560000.0),
+        "o_orderdate": (8036, 10591),
+        "o_shippriority": (0.0, 4.0),
+    },
+    "customer": {
+        "c_nationkey": (0.0, 24.0),
+        "c_acctbal": (-999.0, 9999.0),
+    },
+    "part": {
+        "p_size": (1.0, 50.0),
+        "p_retailprice": (900.0, 2200.0),
+    },
+    "partsupp": {
+        "ps_availqty": (1.0, 9999.0),
+        "ps_supplycost": (1.0, 1000.0),
+    },
+    "orderLineitems": {
+        "o_totalprice": (850.0, 560000.0),
+        "o_orderdate": (8036, 10591),
+        "o_shippriority": (0.0, 4.0),
+        "lineitems.l_quantity": (1.0, 50.0),
+        "lineitems.l_extendedprice": (900.0, 105000.0),
+        "lineitems.l_discount": (0.0, 0.1),
+        "lineitems.l_tax": (0.0, 0.08),
+        "lineitems.l_shipdate": (8036, 10591),
+    },
+}
+
+_RETURN_FLAGS = ["A", "N", "R"]
+_ORDER_STATUS = ["F", "O", "P"]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+_BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+
+#: official TPC-H cardinalities at scale factor 1
+_BASE_CARDINALITIES = {
+    "lineitem": 6_000_000,
+    "orders": 1_500_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+}
+
+
+class TPCHGenerator:
+    """Deterministic TPC-H-style row generator."""
+
+    def __init__(self, scale_factor: float = 0.001, seed: int = 42) -> None:
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self.seed = seed
+        self._rng = make_rng(seed)
+
+    # -- cardinalities --------------------------------------------------
+    def cardinality(self, table: str) -> int:
+        if table not in _BASE_CARDINALITIES:
+            raise KeyError(f"unknown TPC-H table: {table!r}")
+        return max(10, int(_BASE_CARDINALITIES[table] * self.scale_factor))
+
+    # -- row generators --------------------------------------------------
+    def orders_rows(self) -> Iterator[dict]:
+        rng = spawn(make_rng(self.seed), "orders")
+        customers = self.cardinality("customer")
+        for orderkey in range(1, self.cardinality("orders") + 1):
+            yield {
+                "o_orderkey": orderkey,
+                "o_custkey": rng.randint(1, customers),
+                "o_totalprice": round(rng.uniform(850.0, 560000.0), 2),
+                "o_orderdate": rng.randint(8036, 10591),
+                "o_shippriority": rng.randint(0, 4),
+                "o_orderstatus": rng.choice(_ORDER_STATUS),
+            }
+
+    def lineitem_rows(self) -> Iterator[dict]:
+        rng = spawn(make_rng(self.seed), "lineitem")
+        orders = self.cardinality("orders")
+        parts = self.cardinality("part")
+        target = self.cardinality("lineitem")
+        produced = 0
+        orderkey = 0
+        while produced < target:
+            orderkey = orderkey % orders + 1
+            # On average four lineitems per order, as in TPC-H (1-7 uniform).
+            for linenumber in range(1, rng.randint(1, 7) + 1):
+                if produced >= target:
+                    break
+                quantity = float(rng.randint(1, 50))
+                price = round(quantity * rng.uniform(900.0, 2100.0), 2)
+                shipdate = rng.randint(8036, 10591)
+                yield {
+                    "l_orderkey": orderkey,
+                    "l_partkey": rng.randint(1, parts),
+                    "l_suppkey": rng.randint(1, max(10, parts // 4)),
+                    "l_linenumber": linenumber,
+                    "l_quantity": quantity,
+                    "l_extendedprice": price,
+                    "l_discount": round(rng.uniform(0.0, 0.1), 2),
+                    "l_tax": round(rng.uniform(0.0, 0.08), 2),
+                    "l_shipdate": shipdate,
+                    "l_commitdate": shipdate + rng.randint(-30, 30),
+                    "l_receiptdate": shipdate + rng.randint(1, 30),
+                    "l_returnflag": rng.choice(_RETURN_FLAGS),
+                }
+                produced += 1
+
+    def customer_rows(self) -> Iterator[dict]:
+        rng = spawn(make_rng(self.seed), "customer")
+        for custkey in range(1, self.cardinality("customer") + 1):
+            yield {
+                "c_custkey": custkey,
+                "c_nationkey": rng.randint(0, 24),
+                "c_acctbal": round(rng.uniform(-999.0, 9999.0), 2),
+                "c_mktsegment": rng.choice(_SEGMENTS),
+            }
+
+    def part_rows(self) -> Iterator[dict]:
+        rng = spawn(make_rng(self.seed), "part")
+        for partkey in range(1, self.cardinality("part") + 1):
+            yield {
+                "p_partkey": partkey,
+                "p_size": rng.randint(1, 50),
+                "p_retailprice": round(900.0 + (partkey % 1000) * 1.2 + rng.uniform(0, 100), 2),
+                "p_brand": rng.choice(_BRANDS),
+            }
+
+    def partsupp_rows(self) -> Iterator[dict]:
+        rng = spawn(make_rng(self.seed), "partsupp")
+        parts = self.cardinality("part")
+        target = self.cardinality("partsupp")
+        suppliers = max(10, parts // 4)
+        for index in range(target):
+            yield {
+                "ps_partkey": index % parts + 1,
+                "ps_suppkey": rng.randint(1, suppliers),
+                "ps_availqty": rng.randint(1, 9999),
+                "ps_supplycost": round(rng.uniform(1.0, 1000.0), 2),
+            }
+
+    def rows(self, table: str) -> Iterator[dict]:
+        generators = {
+            "lineitem": self.lineitem_rows,
+            "orders": self.orders_rows,
+            "customer": self.customer_rows,
+            "part": self.part_rows,
+            "partsupp": self.partsupp_rows,
+        }
+        if table not in generators:
+            raise KeyError(f"unknown TPC-H table: {table!r}")
+        return generators[table]()
+
+    # -- nested orderLineitems --------------------------------------------
+    def order_lineitems_records(self) -> Iterator[dict]:
+        """Nested records mapping each order to the list of its lineitems."""
+        lineitems_by_order: dict[int, list[dict]] = {}
+        for row in self.lineitem_rows():
+            item = {
+                "l_partkey": row["l_partkey"],
+                "l_suppkey": row["l_suppkey"],
+                "l_quantity": row["l_quantity"],
+                "l_extendedprice": row["l_extendedprice"],
+                "l_discount": row["l_discount"],
+                "l_tax": row["l_tax"],
+                "l_shipdate": row["l_shipdate"],
+            }
+            lineitems_by_order.setdefault(row["l_orderkey"], []).append(item)
+        for order in self.orders_rows():
+            yield {
+                "o_orderkey": order["o_orderkey"],
+                "o_custkey": order["o_custkey"],
+                "o_totalprice": order["o_totalprice"],
+                "o_orderdate": order["o_orderdate"],
+                "o_shippriority": order["o_shippriority"],
+                "lineitems": lineitems_by_order.get(order["o_orderkey"], []),
+            }
+
+
+# ---------------------------------------------------------------------------
+# File writers
+# ---------------------------------------------------------------------------
+def write_tpch_dataset(
+    directory: str | Path,
+    scale_factor: float = 0.001,
+    seed: int = 42,
+    tables: list[str] | None = None,
+    json_tables: list[str] | None = None,
+) -> dict[str, Path]:
+    """Write TPC-H tables as CSV files (and optionally JSON copies).
+
+    Returns a mapping from source name to file path; JSON copies are named
+    ``<table>_json``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    generator = TPCHGenerator(scale_factor=scale_factor, seed=seed)
+    tables = tables or list(TPCH_SCHEMAS)
+    json_tables = json_tables or []
+    paths: dict[str, Path] = {}
+    for table in tables:
+        path = directory / f"{table}.csv"
+        write_csv(path, TPCH_SCHEMAS[table], generator.rows(table))
+        paths[table] = path
+    for table in json_tables:
+        path = directory / f"{table}.json"
+        write_json_lines(path, generator.rows(table))
+        paths[f"{table}_json"] = path
+    return paths
+
+
+def write_order_lineitems_json(
+    directory: str | Path, scale_factor: float = 0.001, seed: int = 42
+) -> Path:
+    """Write the nested orderLineitems JSON file used by Section 4/6.1."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    generator = TPCHGenerator(scale_factor=scale_factor, seed=seed)
+    path = directory / "orderLineitems.json"
+    write_json_lines(path, generator.order_lineitems_records())
+    return path

@@ -1,0 +1,202 @@
+"""Synthetic stand-in for the Yelp open dataset (business / user / review).
+
+The paper uses the Yelp dataset challenge files (144K businesses, 1M users, 4M
+reviews; 4.8 GB of JSON).  The generators below reproduce the structural
+property that drives Figure 15b — on average *larger* nested collections per
+record than the Symantec data (friends lists, check-in histories), which makes
+flattened relational caches disproportionately expensive — at configurable
+small scale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.engine.types import FLOAT, INT, STRING, Field, ListType, RecordType
+from repro.formats.json_plugin import write_json_lines
+from repro.utils.rng import make_rng, spawn
+
+BUSINESS_SCHEMA = RecordType(
+    [
+        Field("business_id", INT),
+        Field("stars", FLOAT),
+        Field("review_count", INT),
+        Field("city_id", INT),
+        Field("is_open", INT),
+        Field("categories", ListType(INT)),
+        Field(
+            "checkins",
+            ListType(
+                RecordType(
+                    [
+                        Field("day", INT),
+                        Field("hour", INT),
+                        Field("count", INT),
+                    ]
+                )
+            ),
+        ),
+    ]
+)
+
+USER_SCHEMA = RecordType(
+    [
+        Field("user_id", INT),
+        Field("review_count", INT),
+        Field("average_stars", FLOAT),
+        Field("useful", INT),
+        Field("fans", INT),
+        Field("friends", ListType(INT)),
+        Field("elite_years", ListType(INT)),
+    ]
+)
+
+REVIEW_SCHEMA = RecordType(
+    [
+        Field("review_id", INT),
+        Field("business_id", INT),
+        Field("user_id", INT),
+        Field("stars", INT),
+        Field("text_length", INT),
+        Field("date", INT),
+        Field(
+            "votes",
+            RecordType(
+                [
+                    Field("useful", INT),
+                    Field("funny", INT),
+                    Field("cool", INT),
+                ]
+            ),
+        ),
+    ]
+)
+
+YELP_SCHEMAS: dict[str, RecordType] = {
+    "business": BUSINESS_SCHEMA,
+    "user": USER_SCHEMA,
+    "review": REVIEW_SCHEMA,
+}
+
+YELP_FIELD_RANGES: dict[str, dict[str, tuple[float, float]]] = {
+    "business": {
+        "stars": (1.0, 5.0),
+        "review_count": (0.0, 4000.0),
+        "city_id": (0.0, 400.0),
+        "is_open": (0.0, 1.0),
+        "categories": (0.0, 1200.0),
+        "checkins.day": (0.0, 6.0),
+        "checkins.hour": (0.0, 23.0),
+        "checkins.count": (0.0, 200.0),
+    },
+    "user": {
+        "review_count": (0.0, 5000.0),
+        "average_stars": (1.0, 5.0),
+        "useful": (0.0, 10000.0),
+        "fans": (0.0, 2000.0),
+        "friends": (0.0, 1_000_000.0),
+        "elite_years": (2005.0, 2017.0),
+    },
+    "review": {
+        "stars": (1.0, 5.0),
+        "text_length": (0.0, 5000.0),
+        "date": (12000.0, 17500.0),
+        "votes.useful": (0.0, 300.0),
+        "votes.funny": (0.0, 300.0),
+        "votes.cool": (0.0, 300.0),
+    },
+}
+
+#: proportion of records per file at the real dataset's relative sizes
+_RELATIVE_SIZES = {"business": 0.03, "user": 0.20, "review": 0.77}
+
+
+def business_records(count: int, seed: int = 31) -> list[dict]:
+    rng = spawn(make_rng(seed), "business")
+    records = []
+    for business_id in range(1, count + 1):
+        categories = sorted({rng.randint(0, 1200) for _ in range(rng.randint(1, 8))})
+        checkins = [
+            {"day": rng.randint(0, 6), "hour": rng.randint(0, 23), "count": rng.randint(1, 200)}
+            for _ in range(rng.randint(0, 24))
+        ]
+        records.append(
+            {
+                "business_id": business_id,
+                "stars": round(rng.uniform(1.0, 5.0) * 2) / 2.0,
+                "review_count": rng.randint(0, 4000),
+                "city_id": rng.randint(0, 400),
+                "is_open": rng.randint(0, 1),
+                "categories": categories,
+                "checkins": checkins,
+            }
+        )
+    return records
+
+
+def user_records(count: int, seed: int = 31) -> list[dict]:
+    rng = spawn(make_rng(seed), "user")
+    records = []
+    for user_id in range(1, count + 1):
+        friends = [rng.randint(1, 1_000_000) for _ in range(rng.randint(0, 40))]
+        elite = sorted({rng.randint(2005, 2017) for _ in range(rng.randint(0, 5))})
+        records.append(
+            {
+                "user_id": user_id,
+                "review_count": rng.randint(0, 5000),
+                "average_stars": round(rng.uniform(1.0, 5.0), 2),
+                "useful": rng.randint(0, 10000),
+                "fans": rng.randint(0, 2000),
+                "friends": friends,
+                "elite_years": elite,
+            }
+        )
+    return records
+
+
+def review_records(count: int, num_businesses: int, num_users: int, seed: int = 31) -> list[dict]:
+    rng = spawn(make_rng(seed), "review")
+    records = []
+    for review_id in range(1, count + 1):
+        records.append(
+            {
+                "review_id": review_id,
+                "business_id": rng.randint(1, max(1, num_businesses)),
+                "user_id": rng.randint(1, max(1, num_users)),
+                "stars": rng.randint(1, 5),
+                "text_length": rng.randint(0, 5000),
+                "date": rng.randint(12000, 17500),
+                "votes": {
+                    "useful": rng.randint(0, 300),
+                    "funny": rng.randint(0, 300),
+                    "cool": rng.randint(0, 300),
+                },
+            }
+        )
+    return records
+
+
+def write_yelp_dataset(
+    directory: str | Path, total_records: int = 3000, seed: int = 31
+) -> dict[str, Path]:
+    """Write the three Yelp-style JSON files, split at the dataset's real ratios.
+
+    Returns ``{"business": ..., "user": ..., "review": ...}`` paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    counts = {
+        name: max(20, int(total_records * fraction)) for name, fraction in _RELATIVE_SIZES.items()
+    }
+    businesses = business_records(counts["business"], seed=seed)
+    users = user_records(counts["user"], seed=seed)
+    reviews = review_records(counts["review"], counts["business"], counts["user"], seed=seed)
+    paths = {
+        "business": directory / "business.json",
+        "user": directory / "user.json",
+        "review": directory / "review.json",
+    }
+    write_json_lines(paths["business"], businesses)
+    write_json_lines(paths["user"], users)
+    write_json_lines(paths["review"], reviews)
+    return paths

@@ -1,0 +1,192 @@
+"""Tests for the cache layouts: striping, assembly, scans, conversion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.compiler import compile_predicate
+from repro.engine.expressions import RangePredicate
+from repro.engine.types import FLOAT, INT, STRING, Field, ListType, RecordType, flatten_record
+from repro.layouts import (
+    ColumnarLayout,
+    ParquetLayout,
+    RowLayout,
+    build_layout,
+    convert_layout,
+    stripe_records,
+)
+from repro.layouts.assembly import assemble_records, assemble_rows, repetition_group
+from repro.layouts.striping import column_levels, prune_schema
+
+SCHEMA = RecordType(
+    [
+        Field("key", INT),
+        Field("total", FLOAT),
+        Field("info", RecordType([Field("city", STRING)])),
+        Field("items", ListType(RecordType([Field("q", INT), Field("p", FLOAT)]))),
+    ]
+)
+
+RECORDS = [
+    {"key": 1, "total": 10.0, "info": {"city": "a"}, "items": [{"q": 1, "p": 0.5}, {"q": 2, "p": 1.5}]},
+    {"key": 2, "total": 20.0, "info": {"city": "b"}, "items": []},
+    {"key": 3, "total": 30.0, "info": {"city": "c"}, "items": [{"q": 7, "p": 7.5}]},
+]
+
+FIELDS = SCHEMA.leaf_paths()
+
+
+def expected_rows(records=RECORDS, fields=FIELDS):
+    rows = []
+    for record in records:
+        for row in flatten_record(record, SCHEMA):
+            rows.append({f: row.get(f) for f in fields})
+    return rows
+
+
+class TestStriping:
+    def test_column_levels(self):
+        assert column_levels(SCHEMA, "key") == (0, 1)
+        assert column_levels(SCHEMA, "info.city") == (0, 2)
+        assert column_levels(SCHEMA, "items.q") == (1, 3)
+
+    def test_prune_schema(self):
+        pruned = prune_schema(SCHEMA, ["key", "items.q"])
+        assert pruned.leaf_paths() == ["key", "items.q"]
+
+    def test_non_nested_columns_have_one_entry_per_record(self):
+        columns = stripe_records(RECORDS, SCHEMA, FIELDS)
+        assert columns["key"].entry_count == len(RECORDS)
+        assert columns["total"].repetition_levels == [0, 0, 0]
+
+    def test_nested_column_repetition_levels(self):
+        columns = stripe_records(RECORDS, SCHEMA, FIELDS)
+        q = columns["items.q"]
+        # record 1: two items (rep 0 then 1); record 2: placeholder; record 3: one item
+        assert q.repetition_levels == [0, 1, 0, 0]
+        assert q.values == [1, 2, None, 7]
+        assert q.definition_levels[2] < q.max_definition
+
+    def test_record_ranges_cover_all_entries(self):
+        columns = stripe_records(RECORDS, SCHEMA, FIELDS)
+        for column in columns.values():
+            assert column.record_ranges[0][0] == 0
+            assert column.record_ranges[-1][1] == column.entry_count
+
+
+class TestAssembly:
+    def test_repetition_group(self):
+        assert repetition_group(SCHEMA, "items.q") == "items"
+        assert repetition_group(SCHEMA, "key") is None
+
+    def test_assemble_rows_matches_flattening(self):
+        columns = stripe_records(RECORDS, SCHEMA, FIELDS)
+        assert list(assemble_rows(columns, SCHEMA, FIELDS)) == expected_rows()
+
+    def test_assemble_records_round_trip(self):
+        columns = stripe_records(RECORDS, SCHEMA, FIELDS)
+        assert list(assemble_records(columns, SCHEMA, FIELDS)) == RECORDS
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.fixed_dictionaries(
+                {
+                    "key": st.integers(-50, 50),
+                    "total": st.floats(0, 100),
+                    "info": st.fixed_dictionaries({"city": st.text(max_size=3)}),
+                    "items": st.lists(
+                        st.fixed_dictionaries(
+                            {"q": st.integers(0, 9), "p": st.floats(0, 10)}
+                        ),
+                        max_size=4,
+                    ),
+                }
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_stripe_assemble_round_trip_property(self, records):
+        columns = stripe_records(records, SCHEMA, FIELDS)
+        assembled = list(assemble_rows(columns, SCHEMA, FIELDS))
+        expected = []
+        for record in records:
+            for row in flatten_record(record, SCHEMA):
+                expected.append({f: row.get(f) for f in FIELDS})
+        assert assembled == expected
+
+
+class TestLayouts:
+    @pytest.mark.parametrize("name", ["row", "columnar", "parquet"])
+    def test_scan_equivalence_across_layouts(self, name):
+        layout = build_layout(name, SCHEMA, FIELDS, records=RECORDS)
+        assert sorted(layout.scan(), key=str) == sorted(expected_rows(), key=str)
+        assert layout.flattened_row_count == len(expected_rows())
+        assert layout.record_count == len(RECORDS)
+        assert layout.nbytes > 0
+        assert layout.supports_fields(["key", "items.q"])
+        assert not layout.supports_fields(["unknown"])
+
+    def test_parquet_flat_path_is_per_record(self):
+        layout = build_layout("parquet", SCHEMA, FIELDS, records=RECORDS)
+        rows = list(layout.scan(fields=["key", "total"]))
+        assert len(rows) == len(RECORDS)
+
+    def test_columnar_dedupe_records(self):
+        layout = build_layout("columnar", SCHEMA, FIELDS, records=RECORDS)
+        rows = list(layout.scan(fields=["key"], dedupe_records=True))
+        assert [row["key"] for row in rows] == [1, 2, 3]
+
+    def test_predicate_pushdown_in_scan(self):
+        layout = build_layout("columnar", SCHEMA, FIELDS, records=RECORDS)
+        predicate = compile_predicate(RangePredicate("items.q", 2, 10))
+        rows = list(layout.scan(fields=["items.q"], predicate=predicate))
+        assert sorted(row["items.q"] for row in rows) == [2, 7]
+
+    def test_vectorized_range_filter_columnar(self):
+        layout = build_layout("columnar", SCHEMA, FIELDS, records=RECORDS)
+        assert layout.supports_range_filter(["total", "items.q"])
+        rows = list(layout.scan_range_filtered({"total": (15.0, 35.0)}, fields=["key"]))
+        assert sorted(row["key"] for row in rows) == [2, 3]
+        assert not layout.supports_range_filter(["info.city"])
+
+    def test_vectorized_range_filter_parquet_flat_columns(self):
+        layout = build_layout("parquet", SCHEMA, FIELDS, records=RECORDS)
+        assert layout.supports_range_filter(["total"])
+        assert not layout.supports_range_filter(["items.q"])
+        rows = list(layout.scan_range_filtered({"total": (5.0, 25.0)}, fields=["key", "total"]))
+        assert sorted(row["key"] for row in rows) == [1, 2]
+
+    def test_flat_relational_rows(self):
+        schema = RecordType([Field("a", INT), Field("b", FLOAT)])
+        rows = [{"a": i, "b": i * 0.5} for i in range(10)]
+        for name in ("row", "columnar", "parquet"):
+            layout = build_layout(name, schema, schema.field_names(), rows=rows)
+            assert list(layout.scan()) == rows
+
+    def test_build_layout_requires_data(self):
+        with pytest.raises(ValueError):
+            build_layout("columnar", SCHEMA, FIELDS)
+        with pytest.raises(ValueError):
+            build_layout("unknown", SCHEMA, FIELDS, records=RECORDS)
+
+
+class TestConversion:
+    @pytest.mark.parametrize("source", ["row", "columnar", "parquet"])
+    @pytest.mark.parametrize("target", ["row", "columnar", "parquet"])
+    def test_conversion_preserves_rows(self, source, target):
+        layout = build_layout(source, SCHEMA, FIELDS, records=RECORDS)
+        converted, seconds = convert_layout(layout, target, SCHEMA)
+        assert converted.layout_name == target
+        assert seconds >= 0.0
+        assert sorted(converted.scan(), key=str) == sorted(expected_rows(), key=str)
+
+    def test_same_target_is_noop(self):
+        layout = build_layout("columnar", SCHEMA, FIELDS, records=RECORDS)
+        converted, seconds = convert_layout(layout, "columnar")
+        assert converted is layout and seconds == 0.0
+
+    def test_unknown_target_rejected(self):
+        layout = build_layout("columnar", SCHEMA, FIELDS, records=RECORDS)
+        with pytest.raises(ValueError):
+            convert_layout(layout, "arrow")
