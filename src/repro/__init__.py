@@ -21,7 +21,9 @@ The public API is re-exported here:
 
 from repro.core.cache_manager import ReCache
 from repro.core.config import ReCacheConfig
+from repro.core.sharded_cache import ShardedReCache
 from repro.engine.executor import QueryReport
+from repro.engine.server import EngineServer, merge_reports
 from repro.engine.expressions import (
     AggregateSpec,
     And,
@@ -40,9 +42,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ReCache",
+    "ShardedReCache",
     "ReCacheConfig",
     "QueryEngine",
+    "EngineServer",
     "QueryReport",
+    "merge_reports",
     "Query",
     "TableRef",
     "JoinSpec",

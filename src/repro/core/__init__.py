@@ -17,7 +17,8 @@ The cache manager (:class:`~repro.core.cache_manager.ReCache`) coordinates
 from repro.core.config import ReCacheConfig
 from repro.core.cache_entry import CacheEntry, CacheKey, CacheStats, LayoutObservation
 from repro.core.benefit import benefit_metric
-from repro.core.cache_manager import CacheMatch, ReCache
+from repro.core.cache_manager import CacheManagerStats, CacheMatch, ReCache
+from repro.core.sharded_cache import AtomicCounter, ShardedReCache, shard_limits
 from repro.core.admission import AdmissionController, AdmissionDecision
 from repro.core.layout_selector import LayoutSelector, RowColumnSelector
 from repro.core.cost_model import LayoutCostModel
@@ -41,8 +42,12 @@ __all__ = [
     "CacheStats",
     "LayoutObservation",
     "benefit_metric",
+    "CacheManagerStats",
     "CacheMatch",
     "ReCache",
+    "ShardedReCache",
+    "AtomicCounter",
+    "shard_limits",
     "AdmissionController",
     "AdmissionDecision",
     "LayoutSelector",

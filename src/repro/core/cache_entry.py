@@ -137,6 +137,10 @@ class CacheEntry:
         #: benefit recomputation is disabled — the ablation of Section 5.1)
         self.frozen_benefit: float | None = None
         self.layout_switches: int = 0
+        #: set when an eager upgrade was rejected because the materialized
+        #: layout cannot fit the byte budget — stops every later reuse from
+        #: re-parsing and rebuilding a layout that will be rejected again
+        self.upgrade_blocked: bool = False
 
     # ------------------------------------------------------------------
     # Size and layout helpers

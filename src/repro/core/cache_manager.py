@@ -13,10 +13,20 @@ The query engine interacts with this class at four points of a query's life:
    the observed workload warrants it.
 4. :meth:`ReCache.upgrade_lazy` — replace a lazy entry with an eager one the
    first time it is reused.
+
+Concurrency model: every public method takes the instance's re-entrant lock,
+so one ``ReCache`` may be shared by many threads — the metadata operations
+(lookup, admission bookkeeping, eviction, statistics) serialize on the lock
+while the expensive work (raw scans, cache scans, layout construction) happens
+outside it in the executor.  For lock-free scaling across cores, partition the
+cache with :class:`~repro.core.sharded_cache.ShardedReCache`, which gives every
+shard its own ``ReCache`` (and therefore its own lock, subsumption index and
+eviction-policy state).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -67,11 +77,39 @@ class CacheManagerStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def merge(self, other: "CacheManagerStats") -> None:
+        """Accumulate another stats object into this one (shard aggregation)."""
+        self.lookups += other.lookups
+        self.exact_hits += other.exact_hits
+        self.subsumption_hits += other.subsumption_hits
+        self.misses += other.misses
+        self.admissions_eager += other.admissions_eager
+        self.admissions_lazy += other.admissions_lazy
+        self.admissions_skipped += other.admissions_skipped
+        self.evictions += other.evictions
+        self.evicted_bytes += other.evicted_bytes
+        self.layout_switches += other.layout_switches
+        self.lazy_upgrades += other.lazy_upgrades
+        for key, value in other.extras.items():
+            # Accumulator convention, as in TimingBreakdown.merge: numeric
+            # extras sum across shards, anything else keeps the latest value.
+            existing = self.extras.get(key)
+            if isinstance(value, (int, float)) and isinstance(existing, (int, float)):
+                self.extras[key] = existing + value
+            else:
+                self.extras[key] = value
+
 
 class ReCache:
-    """Reactive cache of intermediate operator results over raw data."""
+    """Reactive cache of intermediate operator results over raw data.
 
-    def __init__(self, config: ReCacheConfig | None = None) -> None:
+    ``shared_budget``, when given, is an atomic counter mirroring this cache's
+    byte occupancy; :class:`~repro.core.sharded_cache.ShardedReCache` passes one
+    counter to all shards so the global occupancy is readable in O(1) without
+    touching any shard lock.
+    """
+
+    def __init__(self, config: ReCacheConfig | None = None, shared_budget=None) -> None:
         self.config = config or ReCacheConfig()
         self.policy: EvictionPolicy = make_policy(
             self.config.eviction_policy, recompute_benefit=self.config.recompute_benefit
@@ -85,37 +123,62 @@ class ReCache:
         self.stats = CacheManagerStats()
         self._entries: dict[str, CacheEntry] = {}
         self._sequence = 0
+        self._lock = threading.RLock()
+        #: incrementally maintained byte occupancy (sum of entry.nbytes)
+        self._occupancy = 0
+        self._shared_budget = shared_budget
 
     # ------------------------------------------------------------------
     # Query lifecycle
     # ------------------------------------------------------------------
     def begin_query(self) -> int:
         """Advance the logical clock; returns the new query sequence number."""
-        self._sequence += 1
-        if isinstance(self.policy, OfflinePolicy):
-            self.policy.advance_to(self._sequence)
-        return self._sequence
+        with self._lock:
+            self._sequence += 1
+            if isinstance(self.policy, OfflinePolicy):
+                self.policy.advance_to(self._sequence)
+            return self._sequence
+
+    def advance_sequence(self, sequence: int) -> None:
+        """Fast-forward the logical clock to an externally issued sequence.
+
+        The sharded cache issues one global sequence per query and pushes it to
+        every shard, so per-shard recency/creation stamps stay comparable.
+        """
+        with self._lock:
+            if sequence > self._sequence:
+                self._sequence = sequence
+                if isinstance(self.policy, OfflinePolicy):
+                    self.policy.advance_to(sequence)
 
     @property
     def sequence(self) -> int:
         return self._sequence
 
+    def eviction_policies(self) -> list[EvictionPolicy]:
+        """All policy instances managed by this cache (one, unless sharded)."""
+        return [self.policy]
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def entries(self) -> list[CacheEntry]:
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def total_bytes(self) -> int:
-        return sum(entry.nbytes for entry in self._entries.values())
+        # Reading an int is atomic under the GIL; no lock needed on this path.
+        return self._occupancy
 
     def has_live_entries(self, source: str) -> bool:
         """True when at least one cached item from ``source`` is resident."""
-        return any(entry.source == source for entry in self._entries.values())
+        with self._lock:
+            return any(entry.source == source for entry in self._entries.values())
 
     def has_hot_entries(self, source: str) -> bool:
         """True when a cached item from ``source`` has already been reused.
@@ -124,14 +187,16 @@ class ReCache:
         (Section 5.2): once caching a file has demonstrably paid off, further
         accesses to the same file are cached eagerly without re-sampling.
         """
-        return any(
-            entry.source == source and entry.stats.reuse_count > 0
-            for entry in self._entries.values()
-        )
+        with self._lock:
+            return any(
+                entry.source == source and entry.stats.reuse_count > 0
+                for entry in self._entries.values()
+            )
 
     def get_exact(self, source: str, predicate: Expression | None) -> CacheEntry | None:
         key = CacheKey.for_select(source, predicate)
-        return self._entries.get(key.as_string())
+        with self._lock:
+            return self._entries.get(key.as_string())
 
     # ------------------------------------------------------------------
     # Lookup
@@ -143,27 +208,57 @@ class ReCache:
         if not self.config.caching_enabled:
             return None
         started = time.perf_counter()
-        self.stats.lookups += 1
-
         key = CacheKey.for_select(source, predicate)
-        entry = self._entries.get(key.as_string())
-        if entry is not None and entry.supports_fields(fields):
-            lookup_time = time.perf_counter() - started
-            self.stats.exact_hits += 1
-            return CacheMatch(entry=entry, exact=True, lookup_time=lookup_time)
+        with self._lock:
+            self.stats.lookups += 1
 
-        if self.config.enable_subsumption:
-            matches = self.subsumption.find_subsuming(source, predicate, fields)
-            matches = [m for m in matches if m.key.as_string() != key.as_string()]
-            if matches:
-                # Prefer the smallest subsuming cache: it is the cheapest to scan.
-                best = min(matches, key=lambda e: e.nbytes)
+            entry = self._entries.get(key.as_string())
+            if entry is not None and entry.supports_fields(fields):
                 lookup_time = time.perf_counter() - started
-                self.stats.subsumption_hits += 1
-                return CacheMatch(entry=best, exact=False, lookup_time=lookup_time)
+                self.stats.exact_hits += 1
+                return CacheMatch(entry=entry, exact=True, lookup_time=lookup_time)
 
-        self.stats.misses += 1
-        return None
+            if self.config.enable_subsumption:
+                matches = self.subsumption.find_subsuming(
+                    source, predicate, fields, exclude_key=key.as_string()
+                )
+                if matches:
+                    # Prefer the smallest subsuming cache: cheapest to scan.
+                    best = min(matches, key=lambda e: e.nbytes)
+                    lookup_time = time.perf_counter() - started
+                    self.stats.subsumption_hits += 1
+                    return CacheMatch(entry=best, exact=False, lookup_time=lookup_time)
+
+            self.stats.misses += 1
+            return None
+
+    def exact_match(
+        self, source: str, predicate: Expression | None, fields: list[str]
+    ) -> CacheEntry | None:
+        """The exactly matching usable entry, if any — no statistics updates.
+
+        Used by the sharded cache, which routes the exact probe to the key's
+        home shard and accounts for the lookup itself.
+        """
+        key = CacheKey.for_select(source, predicate)
+        with self._lock:
+            entry = self._entries.get(key.as_string())
+            if entry is not None and entry.supports_fields(fields):
+                return entry
+            return None
+
+    def subsuming_matches(
+        self,
+        source: str,
+        predicate: Expression | None,
+        fields: list[str],
+        exclude_key: str | None = None,
+    ) -> list[CacheEntry]:
+        """Subsuming entries resident in this cache — no statistics updates."""
+        with self._lock:
+            return self.subsumption.find_subsuming(
+                source, predicate, fields, exclude_key=exclude_key
+            )
 
     # ------------------------------------------------------------------
     # Admission
@@ -191,13 +286,14 @@ class ReCache:
             mode="eager",
             layout=layout,
         )
-        entry.record_creation(self._sequence, operator_time, caching_time)
-        if not self._make_room_for(entry):
-            self.stats.admissions_skipped += 1
-            return None
-        self._install(entry)
-        self.stats.admissions_eager += 1
-        return entry
+        with self._lock:
+            entry.record_creation(self._sequence, operator_time, caching_time)
+            if not self._make_room_for(entry):
+                self.stats.admissions_skipped += 1
+                return None
+            self._install(entry)
+            self.stats.admissions_eager += 1
+            return entry
 
     def admit_lazy(
         self,
@@ -222,13 +318,23 @@ class ReCache:
             mode="lazy",
             lazy_offsets=offsets,
         )
-        entry.record_creation(self._sequence, operator_time, caching_time)
-        if not self._make_room_for(entry):
+        with self._lock:
+            entry.record_creation(self._sequence, operator_time, caching_time)
+            if not self._make_room_for(entry):
+                self.stats.admissions_skipped += 1
+                return None
+            self._install(entry)
+            self.stats.admissions_lazy += 1
+            return entry
+
+    def note_skipped_admission(
+        self, source: str | None = None, predicate: Expression | None = None
+    ) -> None:
+        """Count an admission the executor abandoned before reaching the cache
+        (e.g. a layout build that failed on a degenerate result).  The source
+        and predicate are routing hints for the sharded cache."""
+        with self._lock:
             self.stats.admissions_skipped += 1
-            return None
-        self._install(entry)
-        self.stats.admissions_lazy += 1
-        return entry
 
     # ------------------------------------------------------------------
     # Reuse
@@ -244,43 +350,79 @@ class ReCache:
 
         Returns the name of the new layout if a switch was performed.
         """
-        entry.record_reuse(self._sequence, scan_time, lookup_time)
-        self.policy.on_access(entry, self._sequence)
-        if observation is not None:
-            self.layout_selector.observe(entry, observation)
-        if not self.config.layout_selection or entry.is_lazy:
-            return None
-        decision = self.layout_selector.decide(entry)
-        if not decision.should_switch:
-            return None
-        return self._switch_layout(entry, decision.target_layout)
+        with self._lock:
+            entry.record_reuse(self._sequence, scan_time, lookup_time)
+            self.policy.on_access(entry, self._sequence)
+            if observation is not None:
+                self.layout_selector.observe(entry, observation)
+            if not self.config.layout_selection or entry.is_lazy:
+                return None
+            if not self._is_resident(entry):
+                # The entry was evicted while this query was scanning it (the
+                # scan itself stays valid — it holds the layout reference).
+                # Switching a ghost's layout would corrupt the byte accounting.
+                return None
+            decision = self.layout_selector.decide(entry)
+            if not decision.should_switch:
+                return None
+            return self._switch_layout(entry, decision.target_layout)
 
-    def upgrade_lazy(self, entry: CacheEntry, layout: CacheLayout, caching_time: float) -> None:
-        """Replace a lazy entry's offsets with a materialized layout."""
-        size_delta = layout.nbytes - entry.nbytes
-        self._free_overage(size_delta, exclude=entry)
-        entry.upgrade_to_eager(layout, caching_time)
-        self.stats.lazy_upgrades += 1
+    def upgrade_lazy(self, entry: CacheEntry, layout: CacheLayout, caching_time: float) -> bool:
+        """Replace a lazy entry's offsets with a materialized layout.
+
+        Returns False when the upgrade was skipped: another thread already
+        upgraded the entry, the entry was evicted mid-scan, or the eager
+        layout cannot fit in the byte budget even after eviction (the entry
+        then stays lazy).
+        """
+        with self._lock:
+            if not entry.is_lazy or not self._is_resident(entry):
+                return False
+            limit = self.config.cache_size_limit
+            size_delta = layout.nbytes - entry.nbytes
+            if limit is not None:
+                if layout.nbytes > limit:
+                    # The eager form can never fit this budget: remember that,
+                    # so reuses stop rebuilding a layout that will be rejected.
+                    entry.upgrade_blocked = True
+                    return False
+                self._free_overage(size_delta, exclude=entry)
+                if self._occupancy + size_delta > limit:
+                    return False
+            entry.upgrade_to_eager(layout, caching_time)
+            self._adjust_occupancy(size_delta)
+            self.stats.lazy_upgrades += 1
+            return True
 
     # ------------------------------------------------------------------
     # Eviction
     # ------------------------------------------------------------------
     def evict_entry(self, entry: CacheEntry) -> None:
-        key = entry.key.as_string()
-        if key in self._entries and self._entries[key] is entry:
-            del self._entries[key]
-        self.subsumption.unregister(entry)
-        self.policy.on_evict(entry)
-        self.stats.evictions += 1
-        self.stats.evicted_bytes += entry.nbytes
+        with self._lock:
+            key = entry.key.as_string()
+            if key in self._entries and self._entries[key] is entry:
+                del self._entries[key]
+                self._adjust_occupancy(-entry.nbytes)
+            self.subsumption.unregister(entry)
+            self.policy.on_evict(entry)
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += entry.nbytes
 
     def benefit_of(self, entry: CacheEntry) -> float:
         """The current benefit metric of a cached entry (for reporting)."""
         return benefit_metric(entry)
 
     # ------------------------------------------------------------------
-    # Internals
+    # Internals (all called with the lock held)
     # ------------------------------------------------------------------
+    def _is_resident(self, entry: CacheEntry) -> bool:
+        return self._entries.get(entry.key.as_string()) is entry
+
+    def _adjust_occupancy(self, delta: int) -> None:
+        self._occupancy += delta
+        if self._shared_budget is not None:
+            self._shared_budget.add(delta)
+
     def _install(self, entry: CacheEntry) -> None:
         key = entry.key.as_string()
         existing = self._entries.get(key)
@@ -291,20 +433,25 @@ class ReCache:
             self.stats.evictions -= 1  # replacement, not a capacity eviction
             self.stats.evicted_bytes -= existing.nbytes
         self._entries[key] = entry
+        self._adjust_occupancy(entry.nbytes)
         self.policy.on_admit(entry, self._sequence)
         self.subsumption.register(entry)
 
     def _make_room_for(self, entry: CacheEntry) -> bool:
-        """Ensure the new entry fits; returns False when it cannot ever fit."""
+        """Ensure the new entry fits; returns False when it cannot fit."""
         limit = self.config.cache_size_limit
         if limit is None:
             return True
         if entry.nbytes > limit:
             # The item is larger than the entire cache: never admit it.
             return False
-        needed = self.total_bytes + entry.nbytes - limit
+        needed = self._occupancy + entry.nbytes - limit
         if needed > 0:
             self._evict_until_available(needed, exclude=entry)
+            if self._occupancy + entry.nbytes > limit:
+                # The policy freed fewer bytes than requested (e.g. returned
+                # too few victims); admitting now would blow the byte budget.
+                return False
         return True
 
     def _evict_until_available(self, bytes_to_free: int, exclude: CacheEntry | None = None) -> None:
@@ -318,7 +465,7 @@ class ReCache:
         limit = self.config.cache_size_limit
         if limit is None or size_delta <= 0:
             return
-        needed = self.total_bytes + size_delta - limit
+        needed = self._occupancy + size_delta - limit
         if needed > 0:
             self._evict_until_available(needed, exclude=exclude)
 
@@ -332,7 +479,12 @@ class ReCache:
             # The converted layout would not fit at all; keep the old one.
             return None
         self._free_overage(size_delta, exclude=entry)
+        if limit is not None and self._occupancy + size_delta > limit:
+            # Eviction could not absorb the growth; keep the old layout rather
+            # than blowing the byte budget.
+            return None
         entry.replace_layout(converted)
+        self._adjust_occupancy(size_delta)
         # Converting the cache is additional caching work: fold it into ``c`` so
         # the benefit metric keeps reflecting the true reconstruction cost.
         entry.stats.caching_time += conversion_time

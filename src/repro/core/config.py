@@ -8,6 +8,7 @@ Figure 14, and the ablation benches).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 
@@ -89,6 +90,16 @@ class ReCacheConfig:
     #: upgrade a lazy cache to an eager one the first time it is reused.
     upgrade_lazy_on_reuse: bool = True
 
+    #: number of independently locked cache shards; 1 keeps the classic
+    #: single-``ReCache`` behaviour, >1 makes the engine build a
+    #: :class:`~repro.core.sharded_cache.ShardedReCache` so concurrent queries
+    #: stop serializing on one lock.
+    shard_count: int = 1
+
+    #: worker threads of the :class:`~repro.engine.server.EngineServer`
+    #: thread pool (the concurrent serving layer's degree of parallelism).
+    max_workers: int = 4
+
     #: deterministic seed for the sampling RNG used by timers.
     seed: int = 7
 
@@ -111,6 +122,14 @@ class ReCacheConfig:
             raise ValueError(f"unknown flat layout {self.default_flat_layout!r}")
         if not 0.0 < self.timing_sample_rate <= 1.0:
             raise ValueError("timing_sample_rate must be in (0, 1]")
+        if self.shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+
+    def with_overrides(self, **overrides) -> "ReCacheConfig":
+        """A copy of this configuration with the given fields replaced."""
+        return dataclasses.replace(self, **overrides)
 
     @classmethod
     def unlimited(cls, **overrides) -> "ReCacheConfig":

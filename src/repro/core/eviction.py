@@ -29,7 +29,13 @@ from repro.core.cache_entry import CacheEntry
 
 
 class EvictionPolicy:
-    """Interface shared by all eviction policies."""
+    """Interface shared by all eviction policies.
+
+    Policies are not synchronized on their own: every callback runs under the
+    owning :class:`~repro.core.cache_manager.ReCache` instance's lock (one
+    policy instance per shard in the sharded cache), which is what keeps
+    mutable policy state such as the Greedy-Dual baseline consistent.
+    """
 
     name = "abstract"
 

@@ -1,0 +1,296 @@
+"""A sharded, thread-safe ReCache for the concurrent serving layer.
+
+:class:`ShardedReCache` partitions cache entries by ``hash(CacheKey)`` across N
+independently locked :class:`~repro.core.cache_manager.ReCache` shards.  Each
+shard owns its own :class:`~repro.core.subsumption.SubsumptionIndex`, eviction
+policy instance (including Greedy-Dual baseline state) and statistics, so the
+hot path — an exact-match lookup followed by a cache scan — touches exactly one
+shard lock and scales with cores instead of serializing on a single mutex.
+
+Byte budget: the global ``cache_size_limit`` is split proportionally across
+shards (each shard enforces its share locally, which keeps the global invariant
+``total_bytes <= cache_size_limit`` without any cross-shard coordination), and
+an :class:`AtomicCounter` shared by all shards mirrors the global occupancy so
+``total_bytes`` is an O(1) read that takes no shard lock.
+
+What is and is not atomic:
+
+* exact lookups, admissions, evictions, reuse bookkeeping and layout switches
+  are atomic *per shard* (the entry's home shard lock covers them);
+* a subsumption lookup probes the home shard first and then the other shards
+  one at a time — it never holds two shard locks at once, so the candidate set
+  is a consistent-per-shard snapshot rather than a global snapshot;
+* the query sequence number is issued globally (one atomic increment per
+  query) and pushed to every shard, keeping recency stamps comparable across
+  shards;
+* aggregate ``stats`` are a merged snapshot: per-shard counters are summed at
+  read time, and lookup counters (which the wrapper tracks itself, since a
+  subsumption probe spans shards) are added on top.
+
+With ``shard_count=1`` the behaviour — entry placement, eviction order,
+statistics — is identical to a plain ``ReCache``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+
+from repro.core.benefit import benefit_metric
+from repro.core.cache_entry import CacheEntry, CacheKey, LayoutObservation
+from repro.core.cache_manager import CacheManagerStats, CacheMatch, ReCache
+from repro.core.config import ReCacheConfig
+from repro.core.eviction import EvictionPolicy
+from repro.engine.expressions import Expression
+from repro.layouts.base import CacheLayout
+
+
+class AtomicCounter:
+    """A lock-protected integer counter (CPython has no atomic int add)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, initial: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._value = initial
+
+    def add(self, delta: int) -> int:
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+def shard_limits(limit: int | None, shard_count: int) -> list[int | None]:
+    """Split a global byte budget into proportional per-shard limits.
+
+    The remainder bytes of an uneven division go to the first shards, so the
+    shares always sum to exactly ``limit``.
+    """
+    if limit is None:
+        return [None] * shard_count
+    base, remainder = divmod(limit, shard_count)
+    return [base + (1 if i < remainder else 0) for i in range(shard_count)]
+
+
+class ShardedReCache:
+    """Thread-safe cache manager presenting the ``ReCache`` API over N shards."""
+
+    def __init__(self, config: ReCacheConfig | None = None, shard_count: int | None = None) -> None:
+        self.config = config or ReCacheConfig()
+        count = shard_count if shard_count is not None else self.config.shard_count
+        if count < 1:
+            raise ValueError("shard_count must be >= 1")
+        self.shard_count = count
+        self._budget = AtomicCounter()
+        limits = shard_limits(self.config.cache_size_limit, count)
+        self.shards: list[ReCache] = []
+        for limit in limits:
+            shard_config = self.config.with_overrides(cache_size_limit=limit)
+            self.shards.append(ReCache(shard_config, shared_budget=self._budget))
+        self._sequence = 0
+        self._sequence_lock = threading.Lock()
+        # Lookup counters live on the wrapper: a subsumption probe spans
+        # shards, so no single shard could account for it consistently.
+        self._lookup_lock = threading.Lock()
+        self._lookups = 0
+        self._exact_hits = 0
+        self._subsumption_hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_for(self, key: CacheKey) -> ReCache:
+        """The home shard of a cache key.
+
+        Uses a process-independent hash (CRC32 of the key string) rather than
+        ``hash()`` so shard placement is reproducible run-to-run despite
+        Python's per-process string-hash randomization.
+        """
+        return self.shards[zlib.crc32(key.as_string().encode("utf-8")) % self.shard_count]
+
+    def _home(self, source: str, predicate: Expression | None) -> ReCache:
+        return self.shard_for(CacheKey.for_select(source, predicate))
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+    def begin_query(self) -> int:
+        """Issue a global query sequence number and push it to every shard."""
+        with self._sequence_lock:
+            self._sequence += 1
+            sequence = self._sequence
+        for shard in self.shards:
+            shard.advance_sequence(sequence)
+        return sequence
+
+    @property
+    def sequence(self) -> int:
+        return self._sequence
+
+    @property
+    def policy(self) -> EvictionPolicy:
+        """The first shard's policy (for introspection; each shard has its own)."""
+        return self.shards[0].policy
+
+    def eviction_policies(self) -> list[EvictionPolicy]:
+        """All per-shard policy instances (e.g. to install offline schedules)."""
+        return [shard.policy for shard in self.shards]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entries(self) -> list[CacheEntry]:
+        collected: list[CacheEntry] = []
+        for shard in self.shards:
+            collected.extend(shard.entries())
+        return collected
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    @property
+    def total_bytes(self) -> int:
+        return self._budget.value
+
+    def has_live_entries(self, source: str) -> bool:
+        return any(shard.has_live_entries(source) for shard in self.shards)
+
+    def has_hot_entries(self, source: str) -> bool:
+        return any(shard.has_hot_entries(source) for shard in self.shards)
+
+    def get_exact(self, source: str, predicate: Expression | None) -> CacheEntry | None:
+        return self._home(source, predicate).get_exact(source, predicate)
+
+    @property
+    def stats(self) -> CacheManagerStats:
+        """A merged snapshot of all shard counters plus the wrapper's lookups."""
+        merged = CacheManagerStats()
+        for shard in self.shards:
+            merged.merge(shard.stats)
+        with self._lookup_lock:
+            merged.lookups += self._lookups
+            merged.exact_hits += self._exact_hits
+            merged.subsumption_hits += self._subsumption_hits
+            merged.misses += self._misses
+        return merged
+
+    @property
+    def admission(self):
+        """The home of the admission controller is per-shard; expose shard 0's
+        (the controller is stateless apart from its configured thresholds)."""
+        return self.shards[0].admission
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(
+        self, source: str, predicate: Expression | None, fields: list[str]
+    ) -> CacheMatch | None:
+        """Find an exactly matching or subsuming cache for a select operator.
+
+        The exact probe touches only the key's home shard; subsumption probes
+        every shard (one lock at a time) because a subsuming entry's key hashes
+        to an arbitrary shard.
+        """
+        if not self.config.caching_enabled:
+            return None
+        started = time.perf_counter()
+        key = CacheKey.for_select(source, predicate)
+        home = self.shard_for(key)
+
+        entry = home.exact_match(source, predicate, fields)
+        if entry is not None:
+            lookup_time = time.perf_counter() - started
+            self._count_lookup("exact")
+            return CacheMatch(entry=entry, exact=True, lookup_time=lookup_time)
+
+        if self.config.enable_subsumption:
+            key_string = key.as_string()
+            matches: list[CacheEntry] = []
+            for shard in self.shards:
+                matches.extend(
+                    shard.subsuming_matches(source, predicate, fields, exclude_key=key_string)
+                )
+            if matches:
+                best = min(matches, key=lambda e: e.nbytes)
+                lookup_time = time.perf_counter() - started
+                self._count_lookup("subsumption")
+                return CacheMatch(entry=best, exact=False, lookup_time=lookup_time)
+
+        self._count_lookup("miss")
+        return None
+
+    def _count_lookup(self, outcome: str) -> None:
+        with self._lookup_lock:
+            self._lookups += 1
+            if outcome == "exact":
+                self._exact_hits += 1
+            elif outcome == "subsumption":
+                self._subsumption_hits += 1
+            else:
+                self._misses += 1
+
+    # ------------------------------------------------------------------
+    # Admission / reuse / eviction: route to the entry's home shard
+    # ------------------------------------------------------------------
+    def admit_eager(
+        self,
+        source: str,
+        source_format: str,
+        predicate: Expression | None,
+        fields: list[str],
+        layout: CacheLayout,
+        operator_time: float,
+        caching_time: float,
+    ) -> CacheEntry | None:
+        return self._home(source, predicate).admit_eager(
+            source, source_format, predicate, fields, layout, operator_time, caching_time
+        )
+
+    def admit_lazy(
+        self,
+        source: str,
+        source_format: str,
+        predicate: Expression | None,
+        fields: list[str],
+        offsets: list[int],
+        operator_time: float,
+        caching_time: float,
+    ) -> CacheEntry | None:
+        return self._home(source, predicate).admit_lazy(
+            source, source_format, predicate, fields, offsets, operator_time, caching_time
+        )
+
+    def note_skipped_admission(
+        self, source: str | None = None, predicate: Expression | None = None
+    ) -> None:
+        if source is None:
+            self.shards[0].note_skipped_admission()
+        else:
+            self._home(source, predicate).note_skipped_admission(source, predicate)
+
+    def record_reuse(
+        self,
+        entry: CacheEntry,
+        scan_time: float,
+        lookup_time: float,
+        observation: LayoutObservation | None = None,
+    ) -> str | None:
+        return self.shard_for(entry.key).record_reuse(
+            entry, scan_time, lookup_time, observation=observation
+        )
+
+    def upgrade_lazy(self, entry: CacheEntry, layout: CacheLayout, caching_time: float) -> bool:
+        return self.shard_for(entry.key).upgrade_lazy(entry, layout, caching_time)
+
+    def evict_entry(self, entry: CacheEntry) -> None:
+        self.shard_for(entry.key).evict_entry(entry)
+
+    def benefit_of(self, entry: CacheEntry) -> float:
+        return benefit_metric(entry)

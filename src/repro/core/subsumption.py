@@ -10,6 +10,10 @@ logarithmic in the number of cached predicates.
 
 The index can also operate without the R-tree (``use_rtree=False``), falling
 back to the naive linear scan; the ablation bench compares the two.
+
+The index itself is not synchronized: every call happens under the owning
+:class:`~repro.core.cache_manager.ReCache` instance's lock (one lock per shard
+in the sharded cache), which also keeps the timing counters consistent.
 """
 
 from __future__ import annotations
@@ -85,16 +89,24 @@ class SubsumptionIndex:
     # Lookup
     # ------------------------------------------------------------------
     def find_subsuming(
-        self, source: str, predicate: Expression | None, fields: list[str]
+        self,
+        source: str,
+        predicate: Expression | None,
+        fields: list[str],
+        exclude_key: str | None = None,
     ) -> list[CacheEntry]:
         """Entries over ``source`` whose predicate subsumes ``predicate`` and
-        whose cached data can answer a query over ``fields``."""
+        whose cached data can answer a query over ``fields``.
+
+        ``exclude_key`` drops the entry with that cache-key string (the exact
+        match, which the caller probes separately) from the result.
+        """
         started = time.perf_counter()
         try:
             if not self.use_rtree:
-                return self._linear_lookup(source, predicate, fields)
+                return self._linear_lookup(source, predicate, fields, exclude_key)
             candidates = self._rtree_candidates(source, predicate)
-            return self._verify(candidates, predicate, fields)
+            return self._verify(candidates, predicate, fields, exclude_key)
         finally:
             self.lookup_seconds += time.perf_counter() - started
 
@@ -125,16 +137,25 @@ class SubsumptionIndex:
         return candidates
 
     def _linear_lookup(
-        self, source: str, predicate: Expression | None, fields: list[str]
+        self,
+        source: str,
+        predicate: Expression | None,
+        fields: list[str],
+        exclude_key: str | None = None,
     ) -> list[CacheEntry]:
-        return self._verify(self._by_source.get(source, []), predicate, fields)
+        return self._verify(self._by_source.get(source, []), predicate, fields, exclude_key)
 
     @staticmethod
     def _verify(
-        candidates: list[CacheEntry], predicate: Expression | None, fields: list[str]
+        candidates: list[CacheEntry],
+        predicate: Expression | None,
+        fields: list[str],
+        exclude_key: str | None = None,
     ) -> list[CacheEntry]:
         matches = []
         for entry in candidates:
+            if exclude_key is not None and entry.key.as_string() == exclude_key:
+                continue
             if not predicate_subsumes(entry.predicate, predicate):
                 continue
             if not entry.supports_fields(fields):

@@ -20,6 +20,7 @@ from repro.core.admission import AdmissionDecision, AdmissionSample
 from repro.core.cache_entry import LayoutObservation
 from repro.core.cache_manager import ReCache
 from repro.core.config import ReCacheConfig
+from repro.core.sharded_cache import ShardedReCache
 from repro.engine.algebra import (
     AggregateNode,
     CacheScanNode,
@@ -87,10 +88,15 @@ class QueryReport:
 
 @dataclass
 class ExecutionContext:
-    """Everything the executor needs while interpreting one plan."""
+    """Everything the executor needs while interpreting one plan.
+
+    One context is created per query execution (the engine never shares a
+    context between threads), so the report and timing fields need no locking;
+    only the cache manager behind ``recache`` is shared.
+    """
 
     catalog: DataSourceCatalog
-    recache: ReCache | None
+    recache: ReCache | ShardedReCache | None
     config: ReCacheConfig
     report: QueryReport
     sequence: int
@@ -181,12 +187,19 @@ def _execute_cache_scan(node: CacheScanNode, ctx: ExecutionContext) -> list[dict
     else:
         ctx.report.subsumption_hits += 1
 
-    if entry.is_lazy:
-        return _execute_lazy_cache_scan(node, ctx)
+    # Snapshot the entry's mutable state once: a concurrent lazy upgrade or
+    # layout switch writes the new layout before clearing the offsets, so a
+    # non-None offsets list is always usable and a None one implies the layout
+    # reference is already valid.  Scans then run entirely on local references,
+    # outside any cache lock.
+    offsets = entry.lazy_offsets
+    if offsets is not None:
+        return _execute_lazy_cache_scan(node, ctx, offsets)
 
-    assert entry.layout is not None
+    layout = entry.layout
+    assert layout is not None
     wanted = node.fields
-    schema = entry.layout.schema
+    schema = layout.schema
     accessed_nested = any(
         schema.is_nested_path(path) for path in wanted if path in set(schema.leaf_paths())
     )
@@ -196,39 +209,40 @@ def _execute_cache_scan(node: CacheScanNode, ctx: ExecutionContext) -> list[dict
     dedupe = bool(schema.nested_paths()) and not accessed_nested
 
     started = time.perf_counter()
-    ranges = _vectorizable_ranges(node.residual_predicate, entry.layout, wanted)
+    layout_name = layout.layout_name
+    ranges = _vectorizable_ranges(node.residual_predicate, layout, wanted)
     if ranges is not None:
         # The cached data is binary and columnar: evaluate the residual range
         # predicate vectorized and materialize only the matching rows.
-        if entry.layout_name == "parquet":
-            rows = list(entry.layout.scan_range_filtered(ranges, fields=wanted))
-            scanned_rows = entry.layout.record_count
+        if layout_name == "parquet":
+            rows = list(layout.scan_range_filtered(ranges, fields=wanted))
+            scanned_rows = layout.record_count
         else:
             rows = list(
-                entry.layout.scan_range_filtered(ranges, fields=wanted, dedupe_records=dedupe)
+                layout.scan_range_filtered(ranges, fields=wanted, dedupe_records=dedupe)
             )
-            scanned_rows = entry.layout.flattened_row_count
+            scanned_rows = layout.flattened_row_count
     else:
         predicate = compile_predicate(node.residual_predicate)
         scanned_rows = 0
         rows = []
         scan_kwargs = {}
-        if dedupe and entry.layout_name in ("columnar", "row"):
+        if dedupe and layout_name in ("columnar", "row"):
             scan_kwargs["dedupe_records"] = True
-        for row in entry.layout.scan(fields=wanted, **scan_kwargs):
+        for row in layout.scan(fields=wanted, **scan_kwargs):
             scanned_rows += 1
             if predicate(row):
                 rows.append(row)
-        if entry.layout_name in ("columnar", "row") and dedupe:
+        if layout_name in ("columnar", "row") and dedupe:
             # The dedup scan still walks every flattened row internally.
-            scanned_rows = entry.layout.flattened_row_count
+            scanned_rows = layout.flattened_row_count
     scan_time = time.perf_counter() - started
     ctx.report.cache_scan_time += scan_time
 
     data_cost, compute_cost = split_scan_cost(scan_time, scanned_rows * max(1, len(wanted)))
     observation = LayoutObservation(
         query_index=ctx.sequence,
-        layout_name=entry.layout_name,
+        layout_name=layout_name,
         data_cost=data_cost,
         compute_cost=compute_cost,
         rows_accessed=scanned_rows,
@@ -276,14 +290,26 @@ def _vectorizable_ranges(predicate, layout, wanted_fields) -> dict[str, tuple[fl
     return {field: (interval.low, interval.high) for field, interval in intervals.items()}
 
 
-def _execute_lazy_cache_scan(node: CacheScanNode, ctx: ExecutionContext) -> list[dict]:
-    """Reuse a lazy cache: re-read the satisfying records via the positional map."""
+def _execute_lazy_cache_scan(
+    node: CacheScanNode, ctx: ExecutionContext, offsets: list[int]
+) -> list[dict]:
+    """Reuse a lazy cache: re-read the satisfying records via the positional map.
+
+    ``offsets`` is the caller's snapshot of the entry's lazy offsets; the entry
+    itself may be upgraded concurrently by another query, in which case
+    :meth:`~repro.core.cache_manager.ReCache.upgrade_lazy` below declines the
+    duplicate upgrade.
+    """
     entry = node.entry
     recache = ctx.recache
     assert recache is not None
     source = ctx.catalog.get(entry.source)
     predicate = compile_predicate(node.residual_predicate)
-    upgrade = ctx.config.upgrade_lazy_on_reuse and not ctx.config.always_lazy
+    upgrade = (
+        ctx.config.upgrade_lazy_on_reuse
+        and not ctx.config.always_lazy
+        and not entry.upgrade_blocked
+    )
     # When the lazy entry is about to be upgraded, parse complete tuples so the
     # resulting eager cache can serve any later query over this source.
     wanted = None if upgrade else node.fields
@@ -297,7 +323,7 @@ def _execute_lazy_cache_scan(node: CacheScanNode, ctx: ExecutionContext) -> list
     rows_out: list[dict] = []
     cached_rows: list[dict] = []
     cached_counts: list[int] = []
-    for record_rows in source.read_record_rows(entry.lazy_offsets or [], wanted):
+    for record_rows in source.read_record_rows(offsets, wanted):
         satisfying = [row for row in record_rows if predicate(row)]
         if satisfying:
             rows_out.append(satisfying[0]) if dedupe else rows_out.extend(satisfying)
@@ -307,7 +333,7 @@ def _execute_lazy_cache_scan(node: CacheScanNode, ctx: ExecutionContext) -> list
     scan_time = time.perf_counter() - started
     ctx.report.cache_scan_time += scan_time
 
-    if upgrade:
+    if upgrade and entry.is_lazy:
         build_started = time.perf_counter()
         all_fields = source.flattened_schema.field_names()
         layout = build_layout(
@@ -319,9 +345,9 @@ def _execute_lazy_cache_scan(node: CacheScanNode, ctx: ExecutionContext) -> list
         )
         build_time = time.perf_counter() - build_started
         ctx.report.caching_time += build_time
-        entry.fields = all_fields
-        recache.upgrade_lazy(entry, layout, build_time)
-        ctx.report.lazy_upgrades += 1
+        if recache.upgrade_lazy(entry, layout, build_time):
+            entry.fields = all_fields
+            ctx.report.lazy_upgrades += 1
 
     recache.record_reuse(entry, scan_time=scan_time, lookup_time=node.lookup_time)
     return rows_out
@@ -573,17 +599,25 @@ def _admit(
         return extra
 
     build_started = time.perf_counter()
-    if nested and layout_name == "parquet":
-        layout = build_layout(layout_name, source.schema, fields, records=eager_records)
-    else:
-        schema = source.schema if nested else source.flattened_schema
-        layout = build_layout(
-            "columnar" if (nested and layout_name == "parquet") else layout_name,
-            schema,
-            fields,
-            rows=eager_rows,
-            record_row_counts=eager_counts or None,
-        )
+    try:
+        if nested and layout_name == "parquet":
+            layout = build_layout(layout_name, source.schema, fields, records=eager_records)
+        else:
+            schema = source.schema if nested else source.flattened_schema
+            layout = build_layout(
+                "columnar" if (nested and layout_name == "parquet") else layout_name,
+                schema,
+                fields,
+                rows=eager_rows,
+                record_row_counts=eager_counts or None,
+            )
+    except ValueError:
+        # A degenerate result (empty source, zero satisfying records, or
+        # inconsistent buffered rows) cannot be materialized into a layout.
+        # The sampling path guards its trial build the same way; skip the
+        # admission cleanly instead of failing the whole query.
+        recache.note_skipped_admission(node.source, node.predicate)
+        return time.perf_counter() - build_started
     extra = time.perf_counter() - build_started
     operator_seconds = max(0.0, elapsed - caching_seconds - extra)
     entry = recache.admit_eager(

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.cache_manager import ReCache
+from repro.core.sharded_cache import ShardedReCache
 from repro.engine.algebra import (
     AggregateNode,
     CacheScanNode,
@@ -74,7 +75,9 @@ def required_fields(query: Query, catalog: DataSourceCatalog, source: str) -> li
     return sorted(fields)
 
 
-def build_plan(query: Query, catalog: DataSourceCatalog, recache: ReCache | None) -> PlanInfo:
+def build_plan(
+    query: Query, catalog: DataSourceCatalog, recache: ReCache | ShardedReCache | None
+) -> PlanInfo:
     """Build the cache-aware logical plan for ``query``."""
     info = PlanInfo(plan=ScanNode(source="<placeholder>"))
 
@@ -95,7 +98,7 @@ def _plan_table(
     source: str,
     predicate,
     fields: list[str],
-    recache: ReCache | None,
+    recache: ReCache | ShardedReCache | None,
     info: PlanInfo,
 ) -> PlanNode:
     scan = ScanNode(source=source, fields=fields)

@@ -1,0 +1,145 @@
+"""The concurrent serving layer: a thread-pool front-end for one shared cache.
+
+:class:`EngineServer` wraps a :class:`~repro.engine.session.QueryEngine` with a
+``ThreadPoolExecutor`` so many clients can issue queries against one shared
+(sharded) ReCache.  Each query executes with its own
+:class:`~repro.engine.executor.ExecutionContext` and
+:class:`~repro.engine.executor.QueryReport` — nothing per-query is shared
+between threads — while lookups, admissions and evictions synchronize inside
+the cache manager (per shard, see :mod:`repro.core.sharded_cache`).
+
+:func:`merge_reports` folds the per-query reports of a serving window into one
+aggregate ``QueryReport`` (summed counters and times, results dropped), which
+is what the multi-client workload driver and the throughput bench consume.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.core.config import ReCacheConfig
+from repro.engine.executor import QueryReport
+from repro.engine.query import Query
+from repro.engine.session import QueryEngine
+from repro.engine.types import RecordType
+from repro.formats.datafile import DataSource
+
+
+def merge_reports(reports: Iterable[QueryReport], label: str = "aggregate") -> QueryReport:
+    """Merge per-query reports into one aggregate report.
+
+    Counters and times are summed; the per-query result rows are intentionally
+    dropped (an aggregate over many queries has no meaningful row set) and
+    ``rows_returned`` becomes the total row count served.
+    """
+    merged = QueryReport(label=label)
+    for report in reports:
+        merged.rows_returned += report.rows_returned
+        merged.total_time += report.total_time
+        merged.operator_time += report.operator_time
+        merged.caching_time += report.caching_time
+        merged.cache_scan_time += report.cache_scan_time
+        merged.lookup_time += report.lookup_time
+        merged.exact_hits += report.exact_hits
+        merged.subsumption_hits += report.subsumption_hits
+        merged.misses += report.misses
+        merged.layout_switches += report.layout_switches
+        merged.lazy_upgrades += report.lazy_upgrades
+        merged.admissions["eager"] += report.admissions.get("eager", 0)
+        merged.admissions["lazy"] += report.admissions.get("lazy", 0)
+    return merged
+
+
+class EngineServer:
+    """Serves queries from many clients against one shared query engine.
+
+    Usable as a context manager; otherwise call :meth:`shutdown` when done.
+    Register every data source before the first query is submitted — source
+    registration is not synchronized against in-flight queries.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine | None = None,
+        config: ReCacheConfig | None = None,
+        max_workers: int | None = None,
+        response_hook: Callable[[QueryReport], None] | None = None,
+    ) -> None:
+        if engine is None:
+            engine = QueryEngine(config)
+        elif config is not None:
+            raise ValueError("pass either an engine or a config, not both")
+        self.engine = engine
+        self.max_workers = max_workers if max_workers is not None else engine.config.max_workers
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        #: called in the worker thread after each execution, before the future
+        #: resolves — the place where a network server would serialize the
+        #: result and write it to the client's socket.  The throughput bench
+        #: uses it to model that per-request delivery latency.
+        self.response_hook = response_hook
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="recache-serve"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Data source registration (delegates; do this before serving)
+    # ------------------------------------------------------------------
+    def register_csv(
+        self, name: str, path: str | Path, schema: RecordType, delimiter: str = "|"
+    ) -> DataSource:
+        return self.engine.register_csv(name, path, schema, delimiter)
+
+    def register_json(self, name: str, path: str | Path, schema: RecordType) -> DataSource:
+        return self.engine.register_json(name, path, schema)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(self, query: Query) -> "Future[QueryReport]":
+        """Queue a query for execution; returns a future for its report."""
+        if self._closed:
+            raise RuntimeError("EngineServer is shut down")
+        return self._pool.submit(self._serve, query)
+
+    def _serve(self, query: Query) -> QueryReport:
+        report = self.engine.execute(query)
+        if self.response_hook is not None:
+            self.response_hook(report)
+        return report
+
+    def execute(self, query: Query) -> QueryReport:
+        """Execute one query through the pool and wait for its report."""
+        return self.submit(query).result()
+
+    def execute_many(self, queries: Sequence[Query]) -> list[QueryReport]:
+        """Execute queries concurrently; reports come back in submission order."""
+        futures = [self.submit(query) for query in queries]
+        return [future.result() for future in futures]
+
+    def aggregate(self, queries: Sequence[Query], label: str = "aggregate") -> QueryReport:
+        """Execute queries concurrently and merge their reports."""
+        return merge_reports(self.execute_many(queries), label=label)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def cache_stats(self):
+        return self.engine.cache_stats
+
+    def cached_bytes(self) -> int:
+        return self.engine.cached_bytes()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "EngineServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

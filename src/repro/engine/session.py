@@ -10,11 +10,13 @@ breakdown the benchmarks consume.
 
 from __future__ import annotations
 
+import threading
 import time
 from pathlib import Path
 
 from repro.core.cache_manager import ReCache
 from repro.core.config import ReCacheConfig
+from repro.core.sharded_cache import ShardedReCache
 from repro.engine.executor import ExecutionContext, QueryReport, execute_plan
 from repro.engine.optimizer import PlanInfo, build_plan
 from repro.engine.query import Query
@@ -23,13 +25,30 @@ from repro.formats.datafile import DataSource, DataSourceCatalog
 
 
 class QueryEngine:
-    """Cache-accelerated query engine over raw heterogeneous data files."""
+    """Cache-accelerated query engine over raw heterogeneous data files.
 
-    def __init__(self, config: ReCacheConfig | None = None, recache: ReCache | None = None) -> None:
+    ``execute`` may be called from many threads at once (that is what
+    :class:`~repro.engine.server.EngineServer` does): each execution gets its
+    own :class:`~repro.engine.executor.ExecutionContext` and report, and the
+    shared cache manager synchronizes internally.  Register all data sources
+    before the first concurrent query — registration is not synchronized.
+    """
+
+    def __init__(
+        self,
+        config: ReCacheConfig | None = None,
+        recache: ReCache | ShardedReCache | None = None,
+    ) -> None:
         self.config = config or ReCacheConfig()
-        self.recache = recache or ReCache(self.config)
+        if recache is None:
+            if self.config.shard_count > 1:
+                recache = ShardedReCache(self.config)
+            else:
+                recache = ReCache(self.config)
+        self.recache = recache
         self.catalog = DataSourceCatalog()
         self.query_count = 0
+        self._count_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Data source registration
@@ -74,7 +93,8 @@ class QueryEngine:
         report.results = results
         report.rows_returned = len(results)
         report.total_time = time.perf_counter() - started
-        self.query_count += 1
+        with self._count_lock:
+            self.query_count += 1
         return report
 
     # ------------------------------------------------------------------

@@ -39,19 +39,29 @@ class CSVPlugin:
 
         The first scan also builds the record-level positional map as a side
         effect; later scans reuse it implicitly through :meth:`read_records`.
+        The map is built into a fresh instance and installed only when the scan
+        reaches the end of the file, so an abandoned scan never publishes a
+        partial map and concurrent first scans never interleave their offsets.
         """
         wanted = self._resolve_fields(fields)
-        build_map = not self.positional_map.complete
+        new_map = None if self.positional_map.complete else PositionalMap()
         offset = 0
         with self.path.open("rb") as handle:
             for raw_line in handle:
                 line = raw_line.rstrip(b"\r\n")
-                if build_map:
-                    self.positional_map.add_record(offset, len(line))
-                offset += len(raw_line)
                 if not line:
+                    # Blank lines yield no record, so they must not occupy a
+                    # map ordinal either: lazy caches store *yielded* record
+                    # ordinals and resolve them through the map.
+                    offset += len(raw_line)
                     continue
+                if new_map is not None:
+                    new_map.add_record(offset, len(line))
+                offset += len(raw_line)
                 yield self._parse_line(line.decode("utf-8"), wanted)
+        if new_map is not None:
+            new_map.mark_complete()
+            self.positional_map = new_map
 
     def scan_with_lines(self, fields: Sequence[str] | None = None) -> Iterator[tuple[str, dict]]:
         """Yield ``(raw_line, parsed_row)`` pairs, parsing only ``fields``.
@@ -61,18 +71,22 @@ class CSVPlugin:
         do not satisfy the selection.
         """
         wanted = self._resolve_fields(fields)
-        build_map = not self.positional_map.complete
+        new_map = None if self.positional_map.complete else PositionalMap()
         offset = 0
         with self.path.open("rb") as handle:
             for raw_line in handle:
                 line = raw_line.rstrip(b"\r\n")
-                if build_map:
-                    self.positional_map.add_record(offset, len(line))
-                offset += len(raw_line)
                 if not line:
+                    offset += len(raw_line)
                     continue
+                if new_map is not None:
+                    new_map.add_record(offset, len(line))
+                offset += len(raw_line)
                 decoded = line.decode("utf-8")
                 yield decoded, self._parse_line(decoded, wanted)
+        if new_map is not None:
+            new_map.mark_complete()
+            self.positional_map = new_map
 
     def parse_full(self, line: str) -> dict:
         """Parse every field of one raw CSV line (the complete tuple)."""
@@ -89,10 +103,11 @@ class CSVPlugin:
             # Build the map with a cheap structural pass (no field parsing).
             for _ in self.scan(fields=[]):
                 pass
+        position_map = self.positional_map
         wanted = self._resolve_fields(fields)
         with self.path.open("rb") as handle:
             for index in indexes:
-                offset, length = self.positional_map.record_span(index)
+                offset, length = position_map.record_span(index)
                 handle.seek(offset)
                 line = handle.read(length).decode("utf-8")
                 yield self._parse_line(line, wanted)

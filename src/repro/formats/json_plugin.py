@@ -39,22 +39,29 @@ class JSONPlugin:
         raw JSON access dominates query time until a cache exists.
         """
         wanted = set(fields) if fields is not None else None
-        build_map = not self.positional_map.complete
+        new_map = None if self.positional_map.complete else PositionalMap()
         offset = 0
         with self.path.open("rb") as handle:
             for raw_line in handle:
                 line = raw_line.rstrip(b"\r\n")
-                if build_map:
-                    self.positional_map.add_record(offset, len(line))
-                offset += len(raw_line)
                 if not line:
+                    # Blank lines yield no record; keeping them out of the map
+                    # keeps map ordinals aligned with yielded record ordinals
+                    # (what lazy caches store).
+                    offset += len(raw_line)
                     continue
+                if new_map is not None:
+                    new_map.add_record(offset, len(line))
+                offset += len(raw_line)
                 record = json.loads(line)
                 for row in flatten_record(record, self.schema):
                     if wanted is not None:
                         yield {k: row.get(k) for k in wanted}
                     else:
                         yield row
+        if new_map is not None:
+            new_map.mark_complete()
+            self.positional_map = new_map
 
     def scan_records(self, fields: Sequence[str] | None = None) -> Iterator[dict]:
         """Yield raw (non-flattened) nested records, one per JSON line.
@@ -62,17 +69,21 @@ class JSONPlugin:
         Used when populating a Parquet-style cache, which needs the original
         nested structure rather than the flattened rows.
         """
-        build_map = not self.positional_map.complete
+        new_map = None if self.positional_map.complete else PositionalMap()
         offset = 0
         with self.path.open("rb") as handle:
             for raw_line in handle:
                 line = raw_line.rstrip(b"\r\n")
-                if build_map:
-                    self.positional_map.add_record(offset, len(line))
-                offset += len(raw_line)
                 if not line:
+                    offset += len(raw_line)
                     continue
+                if new_map is not None:
+                    new_map.add_record(offset, len(line))
+                offset += len(raw_line)
                 yield json.loads(line)
+        if new_map is not None:
+            new_map.mark_complete()
+            self.positional_map = new_map
 
     def read_records(self, indexes: Iterable[int], fields: Sequence[str] | None = None) -> Iterator[dict]:
         """Yield flattened rows for specific JSON-line ordinals (lazy cache reuse)."""
@@ -91,10 +102,11 @@ class JSONPlugin:
         if not self.positional_map.complete:
             for _ in self.scan_records():
                 pass
+        position_map = self.positional_map
         wanted = set(fields) if fields is not None else None
         with self.path.open("rb") as handle:
             for index in indexes:
-                offset, length = self.positional_map.record_span(index)
+                offset, length = position_map.record_span(index)
                 handle.seek(offset)
                 record = json.loads(handle.read(length))
                 rows = flatten_record(record, self.schema)

@@ -28,6 +28,10 @@ class PositionalMap:
     #: keyed by field name.  Only the fields touched by past queries are kept,
     #: mirroring the partial positional maps of NoDB.
     field_offsets: dict[str, list[int]] = field(default_factory=dict)
+    #: set by :meth:`mark_complete` once a scan has walked the whole file; an
+    #: abandoned scan (a consumer that stops pulling the generator) leaves the
+    #: map partial, and a partial map must not masquerade as the file total.
+    _complete: bool = False
 
     @property
     def record_count(self) -> int:
@@ -36,7 +40,11 @@ class PositionalMap:
     @property
     def complete(self) -> bool:
         """True once record-level offsets for the whole file are present."""
-        return bool(self.record_offsets)
+        return self._complete
+
+    def mark_complete(self) -> None:
+        """Declare that the map now covers every record of the file."""
+        self._complete = True
 
     def add_record(self, offset: int, length: int) -> int:
         """Register a record; returns its ordinal index."""

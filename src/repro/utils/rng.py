@@ -9,6 +9,7 @@ instance behaves consistently everywhere.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 
 
 def make_rng(seed_or_rng: int | random.Random | None) -> random.Random:
@@ -22,6 +23,35 @@ def make_rng(seed_or_rng: int | random.Random | None) -> random.Random:
     if seed_or_rng is None:
         seed_or_rng = 0xC0FFEE
     return random.Random(seed_or_rng)
+
+
+class ZipfianSampler:
+    """Samples ranks ``0..n-1`` with probability proportional to ``1/(rank+1)^s``.
+
+    Used by the multi-client workload driver to skew each client's query
+    stream toward a small set of hot queries/sources, the access pattern a
+    serving cache is built for.  The cumulative weights are precomputed so one
+    sample costs a single binary search.
+    """
+
+    def __init__(self, n: int, s: float = 1.1) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if s < 0.0:
+            raise ValueError("s must be >= 0")
+        self.n = n
+        self.s = s
+        self._cumulative: list[float] = []
+        total = 0.0
+        for rank in range(n):
+            total += 1.0 / float(rank + 1) ** s
+            self._cumulative.append(total)
+        self._total = total
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank using the caller's RNG stream."""
+        point = rng.random() * self._total
+        return min(self.n - 1, bisect_left(self._cumulative, point))
 
 
 def spawn(rng: random.Random, label: str) -> random.Random:

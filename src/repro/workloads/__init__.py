@@ -34,7 +34,12 @@ from repro.workloads.queries import (
     symantec_mixed_workload,
     yelp_spa_workload,
 )
-from repro.workloads.runner import WorkloadResult, WorkloadRunner
+from repro.workloads.runner import (
+    ConcurrentWorkloadResult,
+    ConcurrentWorkloadRunner,
+    WorkloadResult,
+    WorkloadRunner,
+)
 
 __all__ = [
     "TPCH_SCHEMAS",
@@ -59,4 +64,6 @@ __all__ = [
     "yelp_spa_workload",
     "WorkloadResult",
     "WorkloadRunner",
+    "ConcurrentWorkloadResult",
+    "ConcurrentWorkloadRunner",
 ]

@@ -6,16 +6,26 @@ evaluation is built from (execution time, caching overhead, hit counts, layout
 switches).  It also knows how to feed the clairvoyant eviction policies their
 future access schedule, and how to pre-populate caches when an experiment wants
 to isolate cache *performance* from cache *construction* (Figures 1 and 9).
+
+:class:`ConcurrentWorkloadRunner` is the multi-client variant: N closed-loop
+clients, each with its own deterministic RNG stream, draw queries from a shared
+pool with zipfian rank skew and issue them through an
+:class:`~repro.engine.server.EngineServer` against one shared cache.
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.cache_entry import CacheKey
 from repro.core.policies import OfflinePolicy
+from repro.engine.executor import QueryReport
 from repro.engine.query import Query
+from repro.engine.server import EngineServer, merge_reports
 from repro.engine.session import QueryEngine
+from repro.utils.rng import ZipfianSampler, make_rng, spawn
 
 
 @dataclass
@@ -90,23 +100,7 @@ class WorkloadRunner:
         result = WorkloadResult(label=label)
         for index, query in enumerate(queries):
             report = self.engine.execute(query)
-            result.per_query.append(
-                {
-                    "index": index,
-                    "label": query.label,
-                    "total_time": report.total_time,
-                    "operator_time": report.operator_time,
-                    "caching_time": report.caching_time,
-                    "cache_scan_time": report.cache_scan_time,
-                    "lookup_time": report.lookup_time,
-                    "caching_overhead": report.caching_overhead,
-                    "exact_hits": report.exact_hits,
-                    "subsumption_hits": report.subsumption_hits,
-                    "misses": report.misses,
-                    "layout_switches": report.layout_switches,
-                    "rows_returned": report.rows_returned,
-                }
-            )
+            result.per_query.append(_measurement(index, query, report))
         return result
 
     def warm_caches(self, queries: list[Query]) -> None:
@@ -120,9 +114,18 @@ class WorkloadRunner:
 
     # ------------------------------------------------------------------
     def _prepare_offline_policy(self, queries: list[Query]) -> None:
-        """Give clairvoyant policies the access schedule of the workload."""
-        policy = self.engine.recache.policy
-        if not isinstance(policy, OfflinePolicy):
+        """Give clairvoyant policies the access schedule of the workload.
+
+        A sharded cache runs one policy instance per shard; every instance
+        receives the full schedule (a shard's policy only ever scores the
+        entries resident in its own shard, so the extra keys are inert).
+        """
+        policies = [
+            policy
+            for policy in self.engine.recache.eviction_policies()
+            if isinstance(policy, OfflinePolicy)
+        ]
+        if not policies:
             return
         base_sequence = self.engine.recache.sequence
         accesses: dict[str, list[int]] = {}
@@ -131,4 +134,132 @@ class WorkloadRunner:
             for table in query.tables:
                 key = CacheKey.for_select(table.source, table.predicate).as_string()
                 accesses.setdefault(key, []).append(sequence)
-        policy.set_future_accesses(accesses)
+        for policy in policies:
+            policy.set_future_accesses(accesses)
+
+
+def _measurement(index: int, query: Query, report: QueryReport) -> dict:
+    """The per-query measurement row shared by both workload runners."""
+    return {
+        "index": index,
+        "label": query.label,
+        "total_time": report.total_time,
+        "operator_time": report.operator_time,
+        "caching_time": report.caching_time,
+        "cache_scan_time": report.cache_scan_time,
+        "lookup_time": report.lookup_time,
+        "caching_overhead": report.caching_overhead,
+        "exact_hits": report.exact_hits,
+        "subsumption_hits": report.subsumption_hits,
+        "misses": report.misses,
+        "layout_switches": report.layout_switches,
+        "rows_returned": report.rows_returned,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Multi-client driver
+# ---------------------------------------------------------------------------
+@dataclass
+class ConcurrentWorkloadResult:
+    """Measurements of one multi-client serving window."""
+
+    label: str
+    client_count: int
+    wall_time: float
+    per_client: list[WorkloadResult] = field(default_factory=list)
+    #: merged per-query report counters across all clients
+    aggregate: QueryReport | None = None
+
+    @property
+    def total_queries(self) -> int:
+        return sum(result.query_count for result in self.per_client)
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.total_queries / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(result.cache_hits for result in self.per_client)
+
+    def summary(self) -> dict:
+        return {
+            "label": self.label,
+            "clients": self.client_count,
+            "queries": self.total_queries,
+            "wall_time": self.wall_time,
+            "queries_per_second": self.queries_per_second,
+            "cache_hits": self.cache_hits,
+        }
+
+
+class ConcurrentWorkloadRunner:
+    """Drives N closed-loop clients against an :class:`EngineServer`.
+
+    Each client owns an independent RNG stream derived from ``seed`` and the
+    client index, so a run is reproducible for a fixed (seed, clients,
+    queries_per_client) regardless of thread interleaving.  Clients draw from
+    the shared query pool with zipfian rank skew: the pool's order defines
+    popularity, so the head of the pool becomes the hot working set — the
+    cache-hit-heavy pattern a serving cache is designed for.  ``zipf_s=0``
+    degenerates to uniform draws.
+
+    ``think_time`` inserts a per-query client-side pause (models the network
+    round-trip / render time of a remote client between requests).
+    """
+
+    def __init__(self, server: EngineServer, clients: int = 4, seed: int = 33) -> None:
+        if clients < 1:
+            raise ValueError("clients must be >= 1")
+        self.server = server
+        self.clients = clients
+        self.seed = seed
+
+    def run(
+        self,
+        pool: list[Query],
+        label: str = "concurrent",
+        queries_per_client: int | None = None,
+        zipf_s: float = 1.1,
+        think_time: float = 0.0,
+    ) -> ConcurrentWorkloadResult:
+        if not pool:
+            raise ValueError("query pool must not be empty")
+        per_client = queries_per_client or max(1, len(pool) // self.clients)
+        sampler = ZipfianSampler(len(pool), zipf_s)
+        base_rng = make_rng(self.seed)
+        client_rngs = [spawn(base_rng, f"client-{index}") for index in range(self.clients)]
+
+        def run_client(index: int) -> tuple[WorkloadResult, list[QueryReport]]:
+            rng = client_rngs[index]
+            result = WorkloadResult(label=f"{label}-client{index}")
+            reports: list[QueryReport] = []
+            for step in range(per_client):
+                query = pool[sampler.sample(rng)]
+                report = self.server.execute(query)
+                result.per_query.append(_measurement(step, query, report))
+                reports.append(report)
+                if think_time > 0.0:
+                    time.sleep(think_time)
+            return result, reports
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(
+            max_workers=self.clients, thread_name_prefix="recache-client"
+        ) as pool_executor:
+            futures = [pool_executor.submit(run_client, index) for index in range(self.clients)]
+            outcomes = [future.result() for future in futures]
+        wall_time = time.perf_counter() - started
+
+        per_client_results = [result for result, _ in outcomes]
+        aggregate = merge_reports(
+            (report for _, reports in outcomes for report in reports), label=label
+        )
+        return ConcurrentWorkloadResult(
+            label=label,
+            client_count=self.clients,
+            wall_time=wall_time,
+            per_client=per_client_results,
+            aggregate=aggregate,
+        )
