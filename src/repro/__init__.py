@@ -22,6 +22,7 @@ The public API is re-exported here:
 from repro.core.cache_manager import ReCache
 from repro.core.config import ReCacheConfig
 from repro.core.sharded_cache import ShardedReCache
+from repro.engine.batch import RecordBatch
 from repro.engine.executor import QueryReport
 from repro.engine.server import EngineServer, merge_reports
 from repro.engine.expressions import (
@@ -47,6 +48,7 @@ __all__ = [
     "QueryEngine",
     "EngineServer",
     "QueryReport",
+    "RecordBatch",
     "merge_reports",
     "Query",
     "TableRef",

@@ -17,8 +17,11 @@ The query engine interacts with this class at four points of a query's life:
 Concurrency model: every public method takes the instance's re-entrant lock,
 so one ``ReCache`` may be shared by many threads — the metadata operations
 (lookup, admission bookkeeping, eviction, statistics) serialize on the lock
-while the expensive work (raw scans, cache scans, layout construction) happens
-outside it in the executor.  For lock-free scaling across cores, partition the
+while the expensive work (raw scans, cache scans, layout construction *and*
+layout conversion) happens outside it; :meth:`ReCache.record_reuse` decides a
+layout switch under the lock, converts outside it, then re-validates liveness
+and budget on re-acquire before installing.  For lock-free scaling across
+cores, partition the
 cache with :class:`~repro.core.sharded_cache.ShardedReCache`, which gives every
 shard its own ``ReCache`` (and therefore its own lock, subsumption index and
 eviction-policy state).
@@ -124,6 +127,10 @@ class ReCache:
         self._entries: dict[str, CacheEntry] = {}
         self._sequence = 0
         self._lock = threading.RLock()
+        #: keys whose layout conversion is currently running outside the lock;
+        #: concurrent reuses of the same entry skip the (expensive) conversion
+        #: instead of racing N rebuilds of which all but one would be dropped.
+        self._switches_in_progress: set[str] = set()
         #: incrementally maintained byte occupancy (sum of entry.nbytes)
         self._occupancy = 0
         self._shared_budget = shared_budget
@@ -349,6 +356,13 @@ class ReCache:
         """Update statistics after reusing ``entry``; maybe switch its layout.
 
         Returns the name of the new layout if a switch was performed.
+
+        The switch *decision* happens under the lock, but the conversion — the
+        expensive part, a full rebuild of the cached data in the target layout
+        — runs outside it, so concurrent queries on this cache (or shard) are
+        not serialized behind a layout rebuild.  The install step re-acquires
+        the lock and re-validates entry liveness and the byte budget before
+        publishing the converted layout.
         """
         with self._lock:
             entry.record_reuse(self._sequence, scan_time, lookup_time)
@@ -365,7 +379,25 @@ class ReCache:
             decision = self.layout_selector.decide(entry)
             if not decision.should_switch:
                 return None
-            return self._switch_layout(entry, decision.target_layout)
+            target = decision.target_layout
+            old_layout = entry.layout
+            if target is None or old_layout is None:
+                return None
+            key = entry.key.as_string()
+            if key in self._switches_in_progress:
+                # Another thread is already converting this entry; its install
+                # will publish the result — a second rebuild would be wasted.
+                return None
+            self._switches_in_progress.add(key)
+        try:
+            converted, conversion_time = convert_layout(old_layout, target, old_layout.schema)
+            with self._lock:
+                return self._install_switched_layout(
+                    entry, old_layout, converted, conversion_time, target
+                )
+        finally:
+            with self._lock:
+                self._switches_in_progress.discard(key)
 
     def upgrade_lazy(self, entry: CacheEntry, layout: CacheLayout, caching_time: float) -> bool:
         """Replace a lazy entry's offsets with a materialized layout.
@@ -469,10 +501,24 @@ class ReCache:
         if needed > 0:
             self._evict_until_available(needed, exclude=exclude)
 
-    def _switch_layout(self, entry: CacheEntry, target: str | None) -> str | None:
-        if target is None or entry.layout is None:
+    def _install_switched_layout(
+        self,
+        entry: CacheEntry,
+        old_layout: CacheLayout,
+        converted: CacheLayout,
+        conversion_time: float,
+        target: str,
+    ) -> str | None:
+        """Publish a layout converted outside the lock (lock held by caller).
+
+        The world may have moved while the conversion ran, so everything is
+        re-validated: the entry must still be resident and still hold the
+        layout the conversion started from (a concurrent switch, upgrade or
+        re-admission loses the race and the converted layout is dropped), and
+        the converted size must still fit the byte budget after eviction.
+        """
+        if not self._is_resident(entry) or entry.layout is not old_layout:
             return None
-        converted, conversion_time = convert_layout(entry.layout, target, entry.layout.schema)
         size_delta = converted.nbytes - entry.nbytes
         limit = self.config.cache_size_limit
         if limit is not None and converted.nbytes > limit:

@@ -90,6 +90,15 @@ class ReCacheConfig:
     #: upgrade a lazy cache to an eager one the first time it is reused.
     upgrade_lazy_on_reuse: bool = True
 
+    #: execute plans over :class:`~repro.engine.batch.RecordBatch` chunks with
+    #: NumPy predicate masks; False falls back to the row-at-a-time
+    #: interpreter (the parity baseline the batch-pipeline bench compares).
+    vectorized_execution: bool = True
+
+    #: number of records per :class:`~repro.engine.batch.RecordBatch` produced
+    #: by scans in the vectorized pipeline.
+    batch_size: int = 1024
+
     #: number of independently locked cache shards; 1 keeps the classic
     #: single-``ReCache`` behaviour, >1 makes the engine build a
     #: :class:`~repro.core.sharded_cache.ShardedReCache` so concurrent queries
@@ -122,6 +131,8 @@ class ReCacheConfig:
             raise ValueError(f"unknown flat layout {self.default_flat_layout!r}")
         if not 0.0 < self.timing_sample_rate <= 1.0:
             raise ValueError("timing_sample_rate must be in (0, 1]")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         if self.shard_count < 1:
             raise ValueError("shard_count must be >= 1")
         if self.max_workers < 1:

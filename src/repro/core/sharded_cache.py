@@ -15,8 +15,11 @@ an :class:`AtomicCounter` shared by all shards mirrors the global occupancy so
 
 What is and is not atomic:
 
-* exact lookups, admissions, evictions, reuse bookkeeping and layout switches
-  are atomic *per shard* (the entry's home shard lock covers them);
+* exact lookups, admissions, evictions and reuse bookkeeping are atomic *per
+  shard* (the entry's home shard lock covers them); a layout *switch* decides
+  and installs under the shard lock but performs the conversion itself outside
+  it (see :meth:`~repro.core.cache_manager.ReCache.record_reuse`), so a shard
+  serving a layout rebuild keeps answering lookups meanwhile;
 * a subsumption lookup probes the home shard first and then the other shards
   one at a time — it never holds two shard locks at once, so the candidate set
   is a consistent-per-shard snapshot rather than a global snapshot;

@@ -1,0 +1,279 @@
+"""Record batches: the unit of the vectorized execution pipeline.
+
+A :class:`RecordBatch` is a columnar struct-of-lists chunk of flattened rows:
+one Python list per column plus optional record-level side information.  Scans
+(format plugins and cache layouts) produce batches of a configurable size, the
+batched operators consume and produce them, and per-column ``float64`` NumPy
+views are built lazily so numeric predicates evaluate as vectorized masks
+instead of per-row closure calls.
+
+The record-level side information exists because ReCache's semantics are
+record-granular even though execution is row-granular:
+
+* ``record_row_counts`` — how many flattened rows each original record
+  contributed (nested JSON records flatten into several rows).  Needed for the
+  nested algebra's record-level dedup semantics and for admission sampling,
+  which counts *records*, not rows.
+* ``records`` — the raw caching payload per record (the raw text line for CSV,
+  the parsed object for JSON) that the materializer parses into complete
+  cached tuples for the records that satisfy the predicate.
+* ``record_bytes`` — approximate raw size per record, feeding the admission
+  controller's total-record extrapolation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+def numeric_column_array(values) -> np.ndarray | None:
+    """A float64 array for a column of numbers/``None``, else ``None``.
+
+    Only genuinely numeric values qualify: NumPy would happily parse digit
+    *strings* into floats, silently succeeding where the row interpreter's
+    comparison raises TypeError.  ``None`` becomes NaN, which fails every
+    ordered comparison exactly like the interpreter's null semantics.  The
+    float64 coercion means vectorized predicates treat a genuine NaN data
+    value as a null and integers beyond 2**53 lose precision; the repo's
+    CSV/JSON workloads produce neither.
+    """
+    if not all(
+        value_type is float or value_type is int or value_type is type(None) or value_type is bool
+        for value_type in map(type, values)
+    ):
+        return None
+    return np.array([np.nan if value is None else value for value in values], dtype=np.float64)
+
+
+def approx_record_bytes(record: dict) -> int:
+    """Rough raw-data size of one parsed JSON record (admission extrapolation)."""
+    total = 0
+    for value in record.values():
+        if isinstance(value, list):
+            total += 24 * max(1, len(value))
+        elif isinstance(value, str):
+            total += len(value)
+        else:
+            total += 8
+    return max(16, total)
+
+
+class RecordBatch:
+    """A columnar chunk of flattened rows flowing through the batched executor."""
+
+    __slots__ = ("columns", "record_row_counts", "records", "record_bytes", "_row_count", "_numeric")
+
+    def __init__(
+        self,
+        columns: dict[str, list],
+        row_count: int | None = None,
+        record_row_counts: list[int] | None = None,
+        records: list | None = None,
+        record_bytes: list[int] | None = None,
+    ) -> None:
+        if row_count is None:
+            row_count = len(next(iter(columns.values()))) if columns else 0
+        lengths = {len(col) for col in columns.values()}
+        if lengths and lengths != {row_count}:
+            raise ValueError(f"ragged batch columns: lengths {sorted(lengths)} != {row_count}")
+        self.columns = columns
+        self._row_count = row_count
+        self.record_row_counts = record_row_counts
+        self.records = records
+        self.record_bytes = record_bytes
+        #: lazily built float64 views per column (None = not numeric)
+        self._numeric: dict[str, np.ndarray | None] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: Sequence[dict], fields: Sequence[str] | None = None) -> "RecordBatch":
+        """Build a batch from row dictionaries (missing fields become ``None``)."""
+        if fields is None:
+            fields = list(rows[0].keys()) if rows else []
+        columns: dict[str, list] = {name: [] for name in fields}
+        for row in rows:
+            for name in fields:
+                columns[name].append(row.get(name))
+        return cls(columns, row_count=len(rows))
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def record_count(self) -> int:
+        """Number of original records in the batch (== rows for flat data)."""
+        if self.record_row_counts is not None:
+            return len(self.record_row_counts)
+        return self._row_count
+
+    @property
+    def total_record_bytes(self) -> int:
+        return sum(self.record_bytes) if self.record_bytes else 0
+
+    def field_names(self) -> list[str]:
+        return list(self.columns)
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> list:
+        """One column's values; a missing column reads as all-``None``
+        (mirroring the row interpreter's ``row.get`` semantics)."""
+        if name in self.columns:
+            return self.columns[name]
+        return [None] * self._row_count
+
+    def numeric_view(self, name: str) -> np.ndarray | None:
+        """A cached float64 view of one column (see :func:`numeric_column_array`).
+
+        Returns ``None`` when the column holds non-numeric values; vectorized
+        predicates then fall back to the compiled per-row closure.
+        """
+        if name not in self._numeric:
+            self._numeric[name] = numeric_column_array(self.column(name))
+        return self._numeric[name]
+
+    def set_numeric_view(self, name: str, array: np.ndarray) -> None:
+        """Pre-seed a numeric view (layouts share their cached column arrays)."""
+        self._numeric[name] = array
+
+    # ------------------------------------------------------------------
+    # Record-granular views
+    # ------------------------------------------------------------------
+    def record_ids(self) -> np.ndarray:
+        """Per-row ordinal of the originating record within this batch."""
+        if self.record_row_counts is None:
+            return np.arange(self._row_count)
+        return np.repeat(np.arange(len(self.record_row_counts)), self.record_row_counts)
+
+    def records_with_true(self, mask: np.ndarray) -> np.ndarray:
+        """Sorted in-batch ordinals of records with at least one True row."""
+        ids = self.record_ids()
+        return np.unique(ids[np.asarray(mask, dtype=bool)])
+
+    def first_true_per_record(self, mask: np.ndarray) -> np.ndarray:
+        """Row indexes of the first True row of each record (record dedup)."""
+        true_rows = np.nonzero(np.asarray(mask, dtype=bool))[0]
+        if len(true_rows) == 0 or self.record_row_counts is None:
+            # Flat data: every row is its own record.
+            return true_rows
+        ids = self.record_ids()[true_rows]
+        _, first_positions = np.unique(ids, return_index=True)
+        return true_rows[first_positions]
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def take(self, indexes) -> "RecordBatch":
+        """A new batch holding the rows at ``indexes`` (record info dropped)."""
+        index_list = indexes.tolist() if isinstance(indexes, np.ndarray) else list(indexes)
+        columns = {
+            name: [col[i] for i in index_list] for name, col in self.columns.items()
+        }
+        taken = RecordBatch(columns, row_count=len(index_list))
+        for name, array in self._numeric.items():
+            if array is not None:
+                taken._numeric[name] = array[index_list]
+        return taken
+
+    def project(self, fields: Sequence[str]) -> "RecordBatch":
+        """Restrict the batch to ``fields`` (missing fields become ``None``)."""
+        projected = RecordBatch(
+            {name: self.column(name) for name in fields}, row_count=self._row_count
+        )
+        for name in fields:
+            if self._numeric.get(name) is not None:
+                projected._numeric[name] = self._numeric[name]
+        return projected
+
+    def slice_records(self, start: int, stop: int) -> "RecordBatch":
+        """The sub-batch holding records ``[start, stop)`` (sampling split)."""
+        if self.record_row_counts is None:
+            row_start, row_stop = start, stop
+            counts = None
+        else:
+            prefix = [0]
+            for count in self.record_row_counts:
+                prefix.append(prefix[-1] + count)
+            row_start, row_stop = prefix[start], prefix[stop]
+            counts = self.record_row_counts[start:stop]
+        sliced = RecordBatch(
+            {name: col[row_start:row_stop] for name, col in self.columns.items()},
+            row_count=row_stop - row_start,
+            record_row_counts=counts,
+            records=self.records[start:stop] if self.records is not None else None,
+            record_bytes=self.record_bytes[start:stop] if self.record_bytes is not None else None,
+        )
+        for name, array in self._numeric.items():
+            if array is not None:
+                sliced._numeric[name] = array[row_start:row_stop]
+        return sliced
+
+    # ------------------------------------------------------------------
+    # Row materialization (pipeline exit points)
+    # ------------------------------------------------------------------
+    def to_rows(self, fields: Sequence[str] | None = None) -> list[dict]:
+        wanted = list(fields) if fields is not None else list(self.columns)
+        if not wanted:
+            return [{} for _ in range(self._row_count)]
+        selected = [self.column(name) for name in wanted]
+        return [dict(zip(wanted, values)) for values in zip(*selected)]
+
+    def iter_rows(self, fields: Sequence[str] | None = None) -> Iterator[dict]:
+        wanted = list(fields) if fields is not None else list(self.columns)
+        selected = [self.column(name) for name in wanted]
+        for i in range(self._row_count):
+            yield {name: col[i] for name, col in zip(wanted, selected)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RecordBatch(rows={self._row_count}, fields={len(self.columns)})"
+
+
+def rows_from_batches(batches: Sequence[RecordBatch]) -> list[dict]:
+    """Materialize a batch stream into the row dictionaries reports carry."""
+    rows: list[dict] = []
+    for batch in batches:
+        rows.extend(batch.to_rows())
+    return rows
+
+
+def batches_from_row_iter(
+    row_iter, fields: Sequence[str] | None, batch_size: int
+) -> Iterator[RecordBatch]:
+    """Chunk a row-dictionary iterator into batches of ``batch_size`` rows."""
+    buffer: list[dict] = []
+    for row in row_iter:
+        buffer.append(row)
+        if len(buffer) >= batch_size:
+            yield RecordBatch.from_rows(buffer, fields)
+            buffer = []
+    if buffer:
+        yield RecordBatch.from_rows(buffer, fields)
+
+
+def concat_batches(batches: Sequence[RecordBatch]) -> RecordBatch:
+    """Concatenate batches into one (field set is the first-seen union)."""
+    if len(batches) == 1:
+        return batches[0]
+    fields: list[str] = []
+    seen: set[str] = set()
+    for batch in batches:
+        for name in batch.columns:
+            if name not in seen:
+                seen.add(name)
+                fields.append(name)
+    columns: dict[str, list] = {name: [] for name in fields}
+    total = 0
+    for batch in batches:
+        for name in fields:
+            columns[name].extend(batch.column(name))
+        total += batch.row_count
+    return RecordBatch(columns, row_count=total)

@@ -7,12 +7,32 @@ query, so that the per-row work is a single call into specialized bytecode
 rather than a tree walk over expression objects.  The generated code is also
 what the materializer stitches into its cache-creation path, mirroring the
 paper's description of cache code being generated just-in-time.
+
+Two extra layers sit on top of the plain row compilers:
+
+* **Closure caching** — compiled closures are memoized by their emitted
+  Python source (an order-faithful structural fingerprint; the canonical
+  signature would be unsafe because it sorts And/Or children and two
+  conjunctions may rely on different short-circuit orders), so a workload
+  that repeats structurally identical queries never re-``compile()`` the same
+  predicate or aggregate accessor twice.
+* **Batch compilation** — :func:`compile_batch_predicate` emits a NumPy mask
+  evaluator for numeric comparisons/ranges and their conjunctions (``None``
+  values become NaN, which fails every ordered comparison exactly like the
+  interpreter's null semantics).  Expressions that cannot be vectorized —
+  string comparisons, division (whose ``ZeroDivisionError`` semantics NumPy
+  would silently change), non-numeric columns discovered at runtime — fall
+  back to the compiled per-row closure applied over the batch.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Sequence
 
+import numpy as np
+
+from repro.engine.batch import RecordBatch
 from repro.engine.expressions import (
     AggregateSpec,
     And,
@@ -26,26 +46,82 @@ from repro.engine.expressions import (
     RangePredicate,
 )
 
+# ---------------------------------------------------------------------------
+# Closure cache
+# ---------------------------------------------------------------------------
+#: compiled closures keyed by "<kind>:<emitted source>".  The emitted source —
+#: not the canonical signature — is the cache key because signatures sort
+#: And/Or children: two conjunctions with the same signature but different
+#: child order must NOT share a closure, or one query's short-circuit order
+#: (e.g. a zero-guard before a division) would silently replace the other's.
+_CLOSURE_CACHE: dict[str, object] = {}
+_CLOSURE_LOCK = threading.Lock()
+_CLOSURE_CACHE_LIMIT = 4096
 
+
+def _cached_closure(key: str, build: Callable[[], object]):
+    with _CLOSURE_LOCK:
+        cached = _CLOSURE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    value = build()
+    with _CLOSURE_LOCK:
+        if len(_CLOSURE_CACHE) >= _CLOSURE_CACHE_LIMIT:
+            # A workload of unbounded distinct predicates must not leak; the
+            # cache is an optimization, so dropping it wholesale is safe.
+            _CLOSURE_CACHE.clear()
+        _CLOSURE_CACHE[key] = value
+    return value
+
+
+def compiled_closure_cache_size() -> int:
+    """Number of memoized compiled closures (introspection for tests)."""
+    with _CLOSURE_LOCK:
+        return len(_CLOSURE_CACHE)
+
+
+def clear_compiled_closure_cache() -> None:
+    with _CLOSURE_LOCK:
+        _CLOSURE_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Row compilers
+# ---------------------------------------------------------------------------
 def compile_predicate(expr: Expression | None) -> Callable[[dict], bool]:
     """Compile a boolean expression into a fast ``row -> bool`` closure."""
     if expr is None:
         return lambda row: True
-    source = f"lambda row: bool({_emit(expr)})"
-    return eval(compile(source, "<recache-predicate>", "eval"), {})  # noqa: S307
+    emitted = _emit(expr)
+
+    def build():
+        source = f"lambda row: bool({emitted})"
+        return eval(compile(source, "<recache-predicate>", "eval"), {})  # noqa: S307
+
+    return _cached_closure(f"pred:{emitted}", build)
 
 
 def compile_value(expr: Expression) -> Callable[[dict], object]:
     """Compile a value expression into a ``row -> value`` closure."""
-    source = f"lambda row: ({_emit(expr)})"
-    return eval(compile(source, "<recache-expression>", "eval"), {})  # noqa: S307
+    emitted = _emit(expr)
+
+    def build():
+        source = f"lambda row: ({emitted})"
+        return eval(compile(source, "<recache-expression>", "eval"), {})  # noqa: S307
+
+    return _cached_closure(f"value:{emitted}", build)
 
 
 def compile_projection(fields: Sequence[str]) -> Callable[[dict], dict]:
     """Compile a projection of ``fields`` into a ``row -> dict`` closure."""
-    items = ", ".join(f"{field!r}: row.get({field!r})" for field in fields)
-    source = f"lambda row: {{{items}}}"
-    return eval(compile(source, "<recache-projection>", "eval"), {})  # noqa: S307
+    fields = list(fields)
+
+    def build():
+        items = ", ".join(f"{field!r}: row.get({field!r})" for field in fields)
+        source = f"lambda row: {{{items}}}"
+        return eval(compile(source, "<recache-projection>", "eval"), {})  # noqa: S307
+
+    return _cached_closure(f"proj:{tuple(fields)!r}", build)
 
 
 class CompiledAggregate:
@@ -63,13 +139,78 @@ class CompiledAggregate:
         value = self._value_of(row)
         if value is None:
             return
+        self.update_value(value)
+
+    def update_value(self, value) -> None:
+        """Fold one non-``None`` value into the running state."""
         self._count += 1
-        if self.spec.func in ("sum", "avg"):
+        func = self.spec.func
+        if func in ("sum", "avg"):
             self._sum += value
-        elif self.spec.func == "min":
+        elif func == "min":
             self._min = value if self._min is None else min(self._min, value)
-        elif self.spec.func == "max":
+        elif func == "max":
             self._max = value if self._max is None else max(self._max, value)
+
+    def batch_values(self, batch: RecordBatch) -> list:
+        """The aggregate's input values for every row of a batch.
+
+        A plain field reference reads the column directly; compound
+        expressions evaluate the compiled row closure over minimal row
+        dictionaries restricted to the referenced fields.
+        """
+        expr = self.spec.expr
+        if isinstance(expr, FieldRef):
+            return batch.column(expr.path)
+        fields = sorted(expr.referenced_fields())
+        columns = [batch.column(name) for name in fields]
+        value_of = self._value_of
+        return [
+            value_of({name: col[i] for name, col in zip(fields, columns)})
+            for i in range(batch.row_count)
+        ]
+
+    def update_batch(self, batch: RecordBatch) -> None:
+        """Fold a whole batch into the running state.
+
+        Accumulation walks the column in row order with the same skip-``None``
+        rule as :meth:`update`, so batched and interpreted execution produce
+        bitwise-identical floating-point results.
+        """
+        values = self.batch_values(batch)
+        func = self.spec.func
+        if func in ("sum", "avg"):
+            count = 0
+            total = self._sum
+            for value in values:
+                if value is None:
+                    continue
+                count += 1
+                total += value
+            self._count += count
+            self._sum = total
+        elif func == "count":
+            self._count += sum(1 for value in values if value is not None)
+        elif func == "min":
+            best = self._min
+            count = 0
+            for value in values:
+                if value is None:
+                    continue
+                count += 1
+                best = value if best is None else min(best, value)
+            self._min = best
+            self._count += count
+        else:  # max
+            best = self._max
+            count = 0
+            for value in values:
+                if value is None:
+                    continue
+                count += 1
+                best = value if best is None else max(best, value)
+            self._max = best
+            self._count += count
 
     def result(self) -> object:
         func = self.spec.func
@@ -86,6 +227,179 @@ class CompiledAggregate:
 
 def compile_aggregates(specs: Sequence[AggregateSpec]) -> list[CompiledAggregate]:
     return [CompiledAggregate(spec) for spec in specs]
+
+
+# ---------------------------------------------------------------------------
+# Batch (vectorized) predicate compilation
+# ---------------------------------------------------------------------------
+class _NotVectorizable(Exception):
+    """The expression cannot be translated into NumPy mask arithmetic."""
+
+
+_NUMPY_COMPARATORS = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+_NUMPY_ARITHMETIC = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    # "/" is intentionally absent: the interpreter raises ZeroDivisionError,
+    # which NumPy would silently turn into inf/NaN.
+}
+
+
+def _vector_value(expr: Expression):
+    """``batch -> ndarray | scalar`` evaluator, or raise :class:`_NotVectorizable`.
+
+    The returned closure yields ``None`` at runtime when a referenced column
+    turns out not to be numeric, signalling the caller to fall back.
+    """
+    if isinstance(expr, FieldRef):
+        path = expr.path
+        return lambda batch: batch.numeric_view(path)
+    if isinstance(expr, Literal):
+        value = expr.value
+        if not isinstance(value, (int, float)):
+            raise _NotVectorizable
+        constant = float(value)
+        return lambda batch: constant
+    if isinstance(expr, Arithmetic):
+        op = _NUMPY_ARITHMETIC.get(expr.op)
+        if op is None:
+            raise _NotVectorizable
+        left = _vector_value(expr.left)
+        right = _vector_value(expr.right)
+
+        def value(batch: RecordBatch):
+            lhs = left(batch)
+            rhs = right(batch)
+            if lhs is None or rhs is None:
+                return None
+            # NaN propagation mirrors the interpreter's None propagation.
+            return op(lhs, rhs)
+
+        return value
+    raise _NotVectorizable
+
+
+def _vector_mask(expr: Expression):
+    """``batch -> bool ndarray | None`` evaluator, or raise :class:`_NotVectorizable`."""
+    if isinstance(expr, RangePredicate):
+        field = expr.field
+        interval = expr.interval
+
+        def mask(batch: RecordBatch):
+            array = batch.numeric_view(field)
+            if array is None:
+                return None
+            low = array >= interval.low if interval.low_inclusive else array > interval.low
+            high = array <= interval.high if interval.high_inclusive else array < interval.high
+            return low & high
+
+        return mask
+    if isinstance(expr, Comparison):
+        if expr.op == "!=":
+            # Float views cannot distinguish a genuine NaN value (where the
+            # interpreter answers True) from a None-became-NaN (where it must
+            # answer False); "!=" is rare in the workloads, so it always takes
+            # the compiled per-row fallback and stays exactly parity-safe.
+            raise _NotVectorizable
+        op = _NUMPY_COMPARATORS[expr.op]
+        left = _vector_value(expr.left)
+        right = _vector_value(expr.right)
+        # Ordered comparisons against NaN are already False; equality needs an
+        # explicit validity mask (None rows must never compare equal).
+        needs_validity = expr.op == "=="
+        guard_left = not isinstance(expr.left, Literal)
+        guard_right = not isinstance(expr.right, Literal)
+
+        def mask(batch: RecordBatch):
+            lhs = left(batch)
+            rhs = right(batch)
+            if lhs is None or rhs is None:
+                return None
+            result = op(lhs, rhs)
+            if needs_validity:
+                if guard_left and isinstance(lhs, np.ndarray):
+                    result = result & ~np.isnan(lhs)
+                if guard_right and isinstance(rhs, np.ndarray):
+                    result = result & ~np.isnan(rhs)
+            if not isinstance(result, np.ndarray):
+                # Two literals: broadcast the constant verdict.
+                result = np.full(batch.row_count, bool(result))
+            return result
+
+        return mask
+    if isinstance(expr, And) or isinstance(expr, Or):
+        children = [_vector_mask(child) for child in expr.children]
+        combine = np.logical_and if isinstance(expr, And) else np.logical_or
+
+        def mask(batch: RecordBatch):
+            combined = None
+            for child in children:
+                child_mask = child(batch)
+                if child_mask is None:
+                    return None
+                combined = child_mask if combined is None else combine(combined, child_mask)
+            return combined
+
+        return mask
+    if isinstance(expr, Not):
+        child = _vector_mask(expr.child)
+
+        def mask(batch: RecordBatch):
+            child_mask = child(batch)
+            if child_mask is None:
+                return None
+            return ~child_mask
+
+        return mask
+    raise _NotVectorizable
+
+
+def compile_batch_predicate(expr: Expression | None) -> Callable[[RecordBatch], np.ndarray]:
+    """Compile a predicate into a ``batch -> bool ndarray`` mask evaluator.
+
+    Numeric comparisons/ranges and their boolean combinations evaluate as
+    NumPy mask expressions; anything else (or a batch whose columns turn out
+    non-numeric) evaluates the compiled per-row closure over the batch.
+    """
+    if expr is None:
+        return lambda batch: np.ones(batch.row_count, dtype=bool)
+    # The emitted source is an order-faithful structural fingerprint (unlike
+    # the signature, which sorts And/Or children); the vectorized evaluator is
+    # built from the same structure, so it is a safe cache key for both parts.
+    emitted = _emit(expr)
+
+    def build():
+        try:
+            vector = _vector_mask(expr)
+        except _NotVectorizable:
+            vector = None
+        row_predicate = compile_predicate(expr)
+        fields = sorted(expr.referenced_fields())
+
+        def evaluate(batch: RecordBatch) -> np.ndarray:
+            if vector is not None:
+                mask = vector(batch)
+                if mask is not None:
+                    return mask
+            columns = [batch.column(name) for name in fields]
+            count = batch.row_count
+            out = np.empty(count, dtype=bool)
+            for i in range(count):
+                out[i] = row_predicate({name: col[i] for name, col in zip(fields, columns)})
+            return out
+
+        return evaluate
+
+    return _cached_closure(f"batchpred:{emitted}", build)
 
 
 # ---------------------------------------------------------------------------
@@ -107,12 +421,24 @@ def _emit(expr: Expression) -> str:
     if isinstance(expr, Comparison):
         left, right = _emit(expr.left), _emit(expr.right)
         # Guard only the operands that can actually be None at runtime
-        # (literals cannot), mirroring the interpreter's null semantics.
-        guards = [
-            f"({emitted}) is not None"
-            for operand, emitted in ((expr.left, left), (expr.right, right))
-            if not isinstance(operand, Literal)
-        ]
+        # (literals cannot), mirroring the interpreter's null semantics.  An
+        # arithmetic operand is guarded through its *leaf fields*: evaluating
+        # the whole operand inside the guard would already raise TypeError on
+        # None, whereas the interpreter propagates None and compares False —
+        # which is also what the NaN arithmetic of the batched pipeline does.
+        guards: list[str] = []
+        for operand, emitted in ((expr.left, left), (expr.right, right)):
+            if isinstance(operand, Literal):
+                continue
+            if isinstance(operand, (FieldRef, Arithmetic)):
+                for path in sorted(operand.referenced_fields()):
+                    guard = f"row.get({path!r}) is not None"
+                    if guard not in guards:
+                        guards.append(guard)
+            else:
+                # Boolean-valued operands (predicates) never evaluate to None;
+                # the cheap whole-expression guard keeps the old behaviour.
+                guards.append(f"({emitted}) is not None")
         comparison = f"({left}) {expr.op} ({right})"
         if guards:
             return "(" + " and ".join(guards + [comparison]) + ")"

@@ -1,20 +1,35 @@
 """Physical execution of cache-aware logical plans.
 
-The executor interprets the plan produced by :mod:`repro.engine.optimizer`.
-Its most involved piece is the materializer (:func:`_execute_materialize`),
-which reproduces ReCache's reactive admission behaviour (Section 5.2): it
-caches the first records of a scan both eagerly and lazily while measuring the
-time spent on caching work, extrapolates the caching overhead to the end of the
-file, and downgrades to lazy (offsets-only) caching when the projected overhead
-exceeds the configured threshold.  Cache scans measure the data/compute costs
-that feed the layout selector, and lazy caches are upgraded to eager ones on
-their first reuse.
+Two execution pipelines share this module:
+
+* the **batched vectorized pipeline** (default, ``config.vectorized_execution``)
+  moves :class:`~repro.engine.batch.RecordBatch` chunks from the scans up
+  through select/project/join, evaluating predicates as NumPy masks and
+  touching record granularity only where ReCache's semantics demand it
+  (admission sampling, record-level dedup);
+* the **row interpreter** walks the same plans one Python dict at a time — it
+  is the parity baseline the batch-pipeline bench and the parity test suite
+  compare against, and remains available via
+  ``config.vectorized_execution=False``.
+
+Both pipelines produce identical results, reports and cache behaviour.  The
+most involved piece is the materializer, which reproduces ReCache's reactive
+admission behaviour (Section 5.2): it caches the first records of a scan both
+eagerly and lazily while measuring the time spent on caching work, extrapolates
+the caching overhead to the end of the file, and downgrades to lazy
+(offsets-only) caching when the projected overhead exceeds the configured
+threshold.  The batched materializer samples those admission costs per batch
+instead of per record.  Cache scans measure the data/compute costs that feed
+the layout selector, and lazy caches are upgraded to eager ones on their first
+reuse.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core.admission import AdmissionDecision, AdmissionSample
 from repro.core.cache_entry import LayoutObservation
@@ -31,9 +46,22 @@ from repro.engine.algebra import (
     ScanNode,
     SelectNode,
 )
+from repro.engine.batch import RecordBatch, approx_record_bytes, rows_from_batches
 from repro.engine.calibration import split_scan_cost
-from repro.engine.compiler import compile_aggregates, compile_predicate
-from repro.engine.operators import aggregate_rows, hash_join, project_rows
+from repro.engine.compiler import (
+    compile_aggregates,
+    compile_batch_predicate,
+    compile_predicate,
+)
+from repro.engine.operators import (
+    aggregate_batches,
+    aggregate_rows,
+    filter_batches,
+    hash_join,
+    hash_join_batches,
+    project_batches,
+    project_rows,
+)
 from repro.engine.types import flatten_record
 from repro.formats.datafile import DataSource, DataSourceCatalog
 from repro.layouts import build_layout
@@ -104,20 +132,34 @@ class ExecutionContext:
 
 
 def execute_plan(plan: PlanNode, ctx: ExecutionContext) -> list[dict]:
-    """Interpret a logical plan bottom-up, returning its output rows."""
+    """Execute a logical plan, returning its output rows.
+
+    Dispatches between the batched vectorized pipeline and the row
+    interpreter according to ``ctx.config.vectorized_execution``.
+    """
+    if ctx.config.vectorized_execution:
+        return _execute_plan_batched(plan, ctx)
+    return _execute_plan_rows(plan, ctx)
+
+
+# ===========================================================================
+# Row-at-a-time interpreter (parity baseline)
+# ===========================================================================
+def _execute_plan_rows(plan: PlanNode, ctx: ExecutionContext) -> list[dict]:
+    """Interpret a logical plan bottom-up, one row dictionary at a time."""
     if isinstance(plan, AggregateNode):
-        rows = execute_plan(plan.child, ctx)
+        rows = _execute_plan_rows(plan.child, ctx)
         aggregates = compile_aggregates(plan.aggregates)
         return aggregate_rows(rows, aggregates, plan.group_by)
     if isinstance(plan, JoinNode):
-        left = execute_plan(plan.left, ctx)
-        right = execute_plan(plan.right, ctx)
+        left = _execute_plan_rows(plan.left, ctx)
+        right = _execute_plan_rows(plan.right, ctx)
         started = time.perf_counter()
         joined = hash_join(left, right, plan.left_key, plan.right_key)
         ctx.report.operator_time += time.perf_counter() - started
         return joined
     if isinstance(plan, ProjectNode):
-        return project_rows(execute_plan(plan.child, ctx), plan.fields)
+        return project_rows(_execute_plan_rows(plan.child, ctx), plan.fields)
     if isinstance(plan, CacheScanNode):
         return _execute_cache_scan(plan, ctx)
     if isinstance(plan, MaterializeNode):
@@ -139,7 +181,7 @@ def _scan_source_rows(source: DataSource, fields: list[str]) -> list[dict]:
 def _execute_select(node: SelectNode, ctx: ExecutionContext) -> list[dict]:
     """Select over a raw scan with no materializer (caching disabled)."""
     if not isinstance(node.child, ScanNode):
-        rows = execute_plan(node.child, ctx)
+        rows = _execute_plan_rows(node.child, ctx)
         predicate = compile_predicate(node.predicate)
         return [row for row in rows if predicate(row)]
     source = ctx.catalog.get(node.child.source)
@@ -239,6 +281,24 @@ def _execute_cache_scan(node: CacheScanNode, ctx: ExecutionContext) -> list[dict
     scan_time = time.perf_counter() - started
     ctx.report.cache_scan_time += scan_time
 
+    _record_cache_scan_reuse(
+        node, ctx, layout_name, scan_time, scanned_rows, wanted, accessed_nested
+    )
+    return rows
+
+
+def _record_cache_scan_reuse(
+    node: CacheScanNode,
+    ctx: ExecutionContext,
+    layout_name: str,
+    scan_time: float,
+    scanned_rows: int,
+    wanted: list[str],
+    accessed_nested: bool,
+) -> None:
+    """Feed one cache-scan measurement to the layout selector and policies."""
+    recache = ctx.recache
+    assert recache is not None
     data_cost, compute_cost = split_scan_cost(scan_time, scanned_rows * max(1, len(wanted)))
     observation = LayoutObservation(
         query_index=ctx.sequence,
@@ -250,11 +310,10 @@ def _execute_cache_scan(node: CacheScanNode, ctx: ExecutionContext) -> list[dict
         accessed_nested=accessed_nested,
     )
     switched = recache.record_reuse(
-        entry, scan_time=scan_time, lookup_time=node.lookup_time, observation=observation
+        node.entry, scan_time=scan_time, lookup_time=node.lookup_time, observation=observation
     )
     if switched:
         ctx.report.layout_switches += 1
-    return rows
 
 
 def _vectorizable_ranges(predicate, layout, wanted_fields) -> dict[str, tuple[float, float]] | None:
@@ -386,17 +445,7 @@ def _execute_materialize(node: MaterializeNode, ctx: ExecutionContext) -> list[d
     # can serve any later query over this source.
     cache_fields = source.flattened_schema.field_names()
 
-    # -- admission mode -----------------------------------------------------
-    mode: str | None
-    if config.always_lazy:
-        mode = "lazy"
-    elif not config.adaptive_admission:
-        mode = "eager"
-    elif recache.admission.should_skip_sampling(recache.has_hot_entries(source.name)):
-        mode = "eager"
-    else:
-        mode = None  # sample, then decide
-
+    mode = _initial_admission_mode(ctx, source)
     sampling = mode is None
     sample_limit = config.admission_sample_records
     to1 = time.perf_counter() - ctx.query_started
@@ -507,6 +556,20 @@ def _execute_materialize(node: MaterializeNode, ctx: ExecutionContext) -> list[d
     ctx.report.operator_time += operator_seconds
     ctx.report.caching_time += caching_seconds
     return rows_out
+
+
+def _initial_admission_mode(ctx: ExecutionContext, source: DataSource) -> str | None:
+    """The admission mode fixed before scanning, or ``None`` to sample first."""
+    config = ctx.config
+    recache = ctx.recache
+    assert recache is not None
+    if config.always_lazy:
+        return "lazy"
+    if not config.adaptive_admission:
+        return "eager"
+    if recache.admission.should_skip_sampling(recache.has_hot_entries(source.name)):
+        return "eager"
+    return None
 
 
 def _decide_admission(
@@ -665,20 +728,322 @@ def _iter_record_groups(source: DataSource, fields: list[str]):
                 {key: row.get(key) for key in wanted}
                 for row in flatten_record(record, source.schema)
             ]
-            approx = _approx_record_bytes(record)
+            approx = approx_record_bytes(record)
             yield record, rows, approx
     else:
         for line, row in source.plugin.scan_with_lines(fields or None):
             yield line, [row], max(16, len(line))
 
 
-def _approx_record_bytes(record: dict) -> int:
-    total = 0
-    for value in record.values():
-        if isinstance(value, list):
-            total += 24 * max(1, len(value))
-        elif isinstance(value, str):
-            total += len(value)
+# ===========================================================================
+# Batched vectorized pipeline
+# ===========================================================================
+def _execute_plan_batched(plan: PlanNode, ctx: ExecutionContext) -> list[dict]:
+    """Execute a plan over record batches, materializing rows only at the top."""
+    if isinstance(plan, AggregateNode):
+        batches = _execute_batches(plan.child, ctx)
+        aggregates = compile_aggregates(plan.aggregates)
+        return aggregate_batches(batches, aggregates, plan.group_by)
+    return rows_from_batches(_execute_batches(plan, ctx))
+
+
+def _execute_batches(plan: PlanNode, ctx: ExecutionContext) -> list[RecordBatch]:
+    """Evaluate a plan subtree, returning its output as record batches."""
+    if isinstance(plan, JoinNode):
+        left = _execute_batches(plan.left, ctx)
+        right = _execute_batches(plan.right, ctx)
+        started = time.perf_counter()
+        joined = hash_join_batches(left, right, plan.left_key, plan.right_key)
+        ctx.report.operator_time += time.perf_counter() - started
+        return joined
+    if isinstance(plan, ProjectNode):
+        return project_batches(_execute_batches(plan.child, ctx), plan.fields)
+    if isinstance(plan, CacheScanNode):
+        return _execute_cache_scan_batched(plan, ctx)
+    if isinstance(plan, MaterializeNode):
+        return _execute_materialize_batched(plan, ctx)
+    if isinstance(plan, SelectNode):
+        return _execute_select_batched(plan, ctx)
+    if isinstance(plan, ScanNode):
+        source = ctx.catalog.get(plan.source)
+        return list(source.scan_batches(plan.fields or None, batch_size=ctx.config.batch_size))
+    if isinstance(plan, AggregateNode):
+        # An aggregate below the plan root (not produced by the optimizer, but
+        # legal plan algebra): materialize its rows into a single batch.
+        rows = _execute_plan_batched(plan, ctx)
+        return [RecordBatch.from_rows(rows)] if rows else []
+    raise TypeError(f"cannot execute plan node of type {type(plan).__name__}")
+
+
+def _execute_select_batched(node: SelectNode, ctx: ExecutionContext) -> list[RecordBatch]:
+    """Select over a raw scan with no materializer (caching disabled)."""
+    batch_predicate = compile_batch_predicate(node.predicate)
+    if not isinstance(node.child, ScanNode):
+        return filter_batches(_execute_batches(node.child, ctx), batch_predicate)
+    source = ctx.catalog.get(node.child.source)
+    fields = node.child.fields
+    dedupe = _record_level_semantics(source, fields)
+    started = time.perf_counter()
+    output = filter_batches(
+        source.scan_batches(fields, batch_size=ctx.config.batch_size),
+        batch_predicate,
+        dedupe_records=dedupe,
+    )
+    ctx.report.operator_time += time.perf_counter() - started
+    return output
+
+
+def _execute_cache_scan_batched(node: CacheScanNode, ctx: ExecutionContext) -> list[RecordBatch]:
+    entry = node.entry
+    recache = ctx.recache
+    assert recache is not None
+    ctx.report.lookup_time += node.lookup_time
+    if node.exact:
+        ctx.report.exact_hits += 1
+    else:
+        ctx.report.subsumption_hits += 1
+
+    # Same snapshot discipline as the interpreted path (see
+    # :func:`_execute_cache_scan`): offsets/layout are read once and the scan
+    # runs on local references outside any cache lock.
+    offsets = entry.lazy_offsets
+    if offsets is not None:
+        # Lazy reuse re-reads the raw file through the positional map; its cost
+        # is dominated by I/O and (on first reuse) the eager upgrade, so the
+        # row implementation is shared and its output wrapped into one batch.
+        rows = _execute_lazy_cache_scan(node, ctx, offsets)
+        return [RecordBatch.from_rows(rows)] if rows else []
+
+    layout = entry.layout
+    assert layout is not None
+    wanted = node.fields
+    schema = layout.schema
+    known = set(schema.leaf_paths())
+    accessed_nested = any(
+        schema.is_nested_path(path) for path in wanted if path in known
+    )
+    dedupe = bool(schema.nested_paths()) and not accessed_nested
+
+    started = time.perf_counter()
+    layout_name = layout.layout_name
+    batches: list[RecordBatch] = []
+    ranges = _vectorizable_ranges(node.residual_predicate, layout, wanted)
+    if ranges is not None:
+        if hasattr(layout, "range_filtered_batch"):
+            # Columnar fast path: one vectorized mask over the cached column
+            # arrays, matching rows gathered straight into batch columns.
+            batch = layout.range_filtered_batch(ranges, fields=wanted, dedupe_records=dedupe)
+            if batch.row_count:
+                batches.append(batch)
+            scanned_rows = layout.flattened_row_count
         else:
-            total += 8
-    return max(16, total)
+            rows = list(layout.scan_range_filtered(ranges, fields=wanted))
+            if rows:
+                batches.append(RecordBatch.from_rows(rows, wanted))
+            scanned_rows = layout.record_count
+    else:
+        batch_predicate = compile_batch_predicate(node.residual_predicate)
+        scan_kwargs = {}
+        if dedupe and layout_name in ("columnar", "row"):
+            scan_kwargs["dedupe_records"] = True
+        if layout_name == "columnar" and node.residual_predicate is not None:
+            # Pre-build the layout's shared float64 views for the predicate's
+            # columns so every batch mask slices one cached array instead of
+            # re-converting its column lists (predicate fields are always part
+            # of the scanned fields, so the columns exist).
+            scan_kwargs["numeric_fields"] = sorted(
+                node.residual_predicate.referenced_fields()
+            )
+        scanned_rows = 0
+        for batch in layout.scan_batches(
+            fields=wanted, batch_size=ctx.config.batch_size, **scan_kwargs
+        ):
+            scanned_rows += batch.row_count
+            indexes = np.nonzero(batch_predicate(batch))[0]
+            if len(indexes) == batch.row_count:
+                batches.append(batch)  # everything matched: no copy needed
+            elif len(indexes):
+                batches.append(batch.take(indexes))
+        if layout_name in ("columnar", "row") and dedupe:
+            # The dedup scan still walks every flattened row internally.
+            scanned_rows = layout.flattened_row_count
+    scan_time = time.perf_counter() - started
+    ctx.report.cache_scan_time += scan_time
+
+    _record_cache_scan_reuse(
+        node, ctx, layout_name, scan_time, scanned_rows, wanted, accessed_nested
+    )
+    return batches
+
+
+def _execute_materialize_batched(node: MaterializeNode, ctx: ExecutionContext) -> list[RecordBatch]:
+    """The materializer over record batches.
+
+    Control flow mirrors :func:`_execute_materialize` record for record; the
+    differences are that predicate evaluation is one mask per batch, output
+    rows move as column slices, and caching work is timed per *batch* — exact
+    timestamps around each batch's caching block while sampling, one
+    :class:`SampledTimer` start/stop pair per batch afterwards.
+    """
+    source = ctx.catalog.get(node.source)
+    recache = ctx.recache
+    config = ctx.config
+    batch_predicate = compile_batch_predicate(node.predicate)
+    nested = source.is_nested()
+    layout_name = config.default_nested_layout if nested else config.default_flat_layout
+    ctx.report.misses += 1
+
+    dedupe_output = _record_level_semantics(source, node.fields)
+    batch_size = config.batch_size
+
+    if recache is None or not config.caching_enabled:
+        started = time.perf_counter()
+        output = filter_batches(
+            source.scan_batches(node.fields, batch_size=batch_size),
+            batch_predicate,
+            dedupe_records=dedupe_output,
+        )
+        ctx.report.operator_time += time.perf_counter() - started
+        return output
+
+    cache_fields = source.flattened_schema.field_names()
+
+    mode = _initial_admission_mode(ctx, source)
+    sampling = mode is None
+    sample_limit = config.admission_sample_records
+    to1 = time.perf_counter() - ctx.query_started
+    tc1 = ctx.report.caching_time
+
+    caching_seconds = 0.0
+    # One timing decision covers a whole batch, so the per-batch sampling rate
+    # is scaled by the batch size: the expected number of *records* whose
+    # caching work gets timed matches the interpreted path, while the clock
+    # overhead per record shrinks by ~batch_size (at the default 1024-record
+    # batches and 1% record rate every batch is timed — two clock calls per
+    # thousand records, far below the paper's monitoring-overhead concern).
+    batch_timing_rate = min(1.0, config.timing_sample_rate * batch_size)
+    post_sample_timer = SampledTimer(sample_rate=batch_timing_rate)
+    output = []
+    eager_rows: list[dict] = []
+    eager_records: list[dict] = []
+    eager_counts: list[int] = []
+    lazy_offsets: list[int] = []
+    records_seen = 0
+    bytes_seen = 0
+
+    operator_started = time.perf_counter()
+    for scanned in source.scan_batches(node.fields, batch_size=batch_size, with_payload=True):
+        # A batch that straddles the end of the admission sample is split so
+        # the decision happens after exactly ``sample_limit`` records, as in
+        # the record-at-a-time path.
+        if sampling and 0 < sample_limit - records_seen < scanned.record_count:
+            boundary = sample_limit - records_seen
+            parts = [
+                scanned.slice_records(0, boundary),
+                scanned.slice_records(boundary, scanned.record_count),
+            ]
+        else:
+            parts = [scanned]
+
+        for batch in parts:
+            bytes_seen += batch.total_record_bytes
+            mask = batch_predicate(batch)
+            out_indexes = (
+                batch.first_true_per_record(mask) if dedupe_output else np.nonzero(mask)[0]
+            )
+            if len(out_indexes) == batch.row_count:
+                # Everything matched: pass the columns through without a copy,
+                # but shed the caching payload (raw lines / parsed records) so
+                # the query output does not pin the whole file's records.
+                output.append(RecordBatch(batch.columns, row_count=batch.row_count))
+            elif len(out_indexes):
+                output.append(batch.take(out_indexes))
+
+            any_satisfying = bool(len(out_indexes))
+            if any_satisfying or sampling:
+                exact_timing = sampling
+                if exact_timing:
+                    cache_started = time.perf_counter()
+                else:
+                    post_sample_timer.maybe_start()
+
+                if any_satisfying:
+                    if batch.record_row_counts is None and not dedupe_output:
+                        # Flat source: rows are records, and out_indexes is
+                        # already the satisfying-row set.
+                        satisfied = out_indexes
+                    else:
+                        satisfied = batch.records_with_true(mask)
+                    if mode == "lazy":
+                        lazy_offsets.extend(records_seen + int(r) for r in satisfied)
+                    else:
+                        if sampling:
+                            lazy_offsets.extend(records_seen + int(r) for r in satisfied)
+                        payload = batch.records
+                        if nested and layout_name == "parquet":
+                            eager_records.extend(payload[r] for r in satisfied)
+                        elif source.format == "json":
+                            for r in satisfied:
+                                full_rows = flatten_record(payload[r], source.schema)
+                                eager_rows.extend(full_rows)
+                                if nested:
+                                    eager_counts.append(len(full_rows))
+                        else:
+                            parse_full = source.plugin.parse_full
+                            eager_rows.extend(parse_full(payload[r]) for r in satisfied)
+
+                if exact_timing:
+                    caching_seconds += time.perf_counter() - cache_started
+                else:
+                    post_sample_timer.maybe_stop()
+
+            records_seen += batch.record_count
+            if sampling and records_seen >= sample_limit:
+                sampling = False
+                mode, sample_overhead = _decide_admission(
+                    ctx,
+                    source,
+                    layout_name,
+                    cache_fields,
+                    nested,
+                    eager_rows,
+                    eager_records,
+                    eager_counts,
+                    caching_seconds,
+                    to1,
+                    tc1,
+                    records_seen,
+                    bytes_seen,
+                )
+                caching_seconds = sample_overhead
+                if mode == "lazy":
+                    eager_rows, eager_records, eager_counts = [], [], []
+                else:
+                    lazy_offsets = []
+
+    elapsed = time.perf_counter() - operator_started
+    caching_seconds += post_sample_timer.estimated_total
+
+    if mode is None:
+        mode = "eager"
+
+    caching_seconds += _admit(
+        ctx,
+        node,
+        source,
+        mode,
+        layout_name,
+        cache_fields,
+        nested,
+        eager_rows,
+        eager_records,
+        eager_counts,
+        lazy_offsets,
+        elapsed,
+        caching_seconds,
+    )
+
+    operator_seconds = max(0.0, elapsed - caching_seconds)
+    ctx.report.operator_time += operator_seconds
+    ctx.report.caching_time += caching_seconds
+    return output

@@ -1,14 +1,21 @@
 """Physical operator building blocks: filtering, hash join, aggregation.
 
-These are deliberately simple, allocation-light functions over lists of
-dictionaries — the executor composes them per query after the compiler has
-specialized the predicates and aggregate accessors.
+Two families live here.  The row functions (``filter_rows``/``project_rows``/
+``hash_join``/``aggregate_rows``) are the original tuple-at-a-time operators
+the interpreted executor composes.  The batch functions are their vectorized
+counterparts over :class:`~repro.engine.batch.RecordBatch` chunks: predicates
+arrive as compiled NumPy mask evaluators, projections and joins move whole
+columns, and aggregation folds columns in row order so results stay
+bitwise-identical to the interpreted path.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
+import numpy as np
+
+from repro.engine.batch import RecordBatch, concat_batches
 from repro.engine.compiler import CompiledAggregate
 
 
@@ -89,6 +96,142 @@ def aggregate_rows(
             groups[group_key] = state
         for aggregate in state:
             aggregate.update(row)
+
+    results = []
+    for group_key, state in groups.items():
+        row = dict(zip(keys, group_key))
+        for aggregate in state:
+            row[aggregate.spec.output_name] = aggregate.result()
+        results.append(row)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Batch operators
+# ---------------------------------------------------------------------------
+def filter_batches(
+    batches,
+    batch_predicate: Callable[[RecordBatch], np.ndarray],
+    dedupe_records: bool = False,
+) -> list[RecordBatch]:
+    """Apply a compiled batch predicate, keeping only non-empty batches.
+
+    ``dedupe_records`` keeps the first satisfying row of each original record
+    (the nested algebra's record-level semantics).  A batch whose rows all
+    survive is passed through untouched instead of being copied.
+    """
+    output: list[RecordBatch] = []
+    for batch in batches:
+        mask = batch_predicate(batch)
+        if dedupe_records:
+            indexes = batch.first_true_per_record(mask)
+        else:
+            indexes = np.nonzero(mask)[0]
+        if len(indexes) == batch.row_count:
+            output.append(batch)
+        elif len(indexes):
+            output.append(batch.take(indexes))
+    return output
+
+
+def project_batches(batches: Sequence[RecordBatch], fields: Sequence[str]) -> list[RecordBatch]:
+    """Restrict each batch to ``fields`` (missing fields become ``None``)."""
+    wanted = list(fields)
+    return [batch.project(wanted) for batch in batches]
+
+
+def hash_join_batches(
+    left_batches: Sequence[RecordBatch],
+    right_batches: Sequence[RecordBatch],
+    left_key: str,
+    right_key: str,
+) -> list[RecordBatch]:
+    """Columnar build/probe hash join over two batch streams.
+
+    Semantics (build-side choice, null keys dropped, probe side wins name
+    collisions, output ordered by probe position) match :func:`hash_join`
+    exactly; the difference is that rows are never materialized as
+    dictionaries — the join gathers whole columns by index instead.
+    """
+    left = concat_batches(list(left_batches)) if left_batches else RecordBatch({}, 0)
+    right = concat_batches(list(right_batches)) if right_batches else RecordBatch({}, 0)
+    if left.row_count <= right.row_count:
+        build, build_key = left, left_key
+        probe, probe_key = right, right_key
+    else:
+        build, build_key = right, right_key
+        probe, probe_key = left, left_key
+
+    table: dict[object, list[int]] = {}
+    for index, key in enumerate(build.column(build_key)):
+        if key is None:
+            continue
+        table.setdefault(key, []).append(index)
+
+    build_indexes: list[int] = []
+    probe_indexes: list[int] = []
+    for index, key in enumerate(probe.column(probe_key)):
+        if key is None:
+            continue
+        matches = table.get(key)
+        if not matches:
+            continue
+        build_indexes.extend(matches)
+        probe_indexes.extend([index] * len(matches))
+
+    if not probe_indexes:
+        return []
+    # Merged field order mirrors dict(match); merged.update(row): build fields
+    # first, probe-only fields appended, shared names carrying probe values.
+    build_fields = build.field_names()
+    probe_fields = set(probe.field_names())
+    columns: dict[str, list] = {}
+    for name in build_fields:
+        if name in probe_fields:
+            source = probe.column(name)
+            columns[name] = [source[i] for i in probe_indexes]
+        else:
+            source = build.column(name)
+            columns[name] = [source[i] for i in build_indexes]
+    for name in probe.field_names():
+        if name not in columns:
+            source = probe.column(name)
+            columns[name] = [source[i] for i in probe_indexes]
+    return [RecordBatch(columns, row_count=len(probe_indexes))]
+
+
+def aggregate_batches(
+    batches: Sequence[RecordBatch],
+    aggregates: Sequence[CompiledAggregate],
+    group_by: Sequence[str] = (),
+) -> list[dict]:
+    """Compute aggregates over a batch stream, optionally grouped.
+
+    Group states appear in first-occurrence order (matching the interpreted
+    path's dict-insertion order), and every aggregate folds its values in row
+    order so floating-point results are identical to :func:`aggregate_rows`.
+    """
+    if not group_by:
+        for batch in batches:
+            for aggregate in aggregates:
+                aggregate.update_batch(batch)
+        return [{agg.spec.output_name: agg.result() for agg in aggregates}]
+
+    keys = list(group_by)
+    groups: dict[tuple, list[CompiledAggregate]] = {}
+    for batch in batches:
+        key_columns = [batch.column(key) for key in keys]
+        value_lists = [aggregate.batch_values(batch) for aggregate in aggregates]
+        for i in range(batch.row_count):
+            group_key = tuple(column[i] for column in key_columns)
+            state = groups.get(group_key)
+            if state is None:
+                state = [CompiledAggregate(agg.spec) for agg in aggregates]
+                groups[group_key] = state
+            for aggregate, values in zip(state, value_lists):
+                value = values[i]
+                if value is not None:
+                    aggregate.update_value(value)
 
     results = []
     for group_key, state in groups.items():

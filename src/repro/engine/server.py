@@ -99,14 +99,18 @@ class EngineServer:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def submit(self, query: Query) -> "Future[QueryReport]":
-        """Queue a query for execution; returns a future for its report."""
+    def submit(self, query: Query, *, vectorized: bool | None = None) -> "Future[QueryReport]":
+        """Queue a query for execution; returns a future for its report.
+
+        ``vectorized`` optionally overrides the engine's execution pipeline
+        (batched vs interpreted) for this request only.
+        """
         if self._closed:
             raise RuntimeError("EngineServer is shut down")
-        return self._pool.submit(self._serve, query)
+        return self._pool.submit(self._serve, query, vectorized)
 
-    def _serve(self, query: Query) -> QueryReport:
-        report = self.engine.execute(query)
+    def _serve(self, query: Query, vectorized: bool | None = None) -> QueryReport:
+        report = self.engine.execute(query, vectorized=vectorized)
         if self.response_hook is not None:
             self.response_hook(report)
         return report

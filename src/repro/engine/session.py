@@ -73,8 +73,16 @@ class QueryEngine:
         """Build (but do not execute) the cache-aware plan for a query."""
         return build_plan(query, self.catalog, self.recache)
 
-    def execute(self, query: Query) -> QueryReport:
-        """Execute a query and return its results plus execution report."""
+    def execute(self, query: Query, *, vectorized: bool | None = None) -> QueryReport:
+        """Execute a query and return its results plus execution report.
+
+        ``vectorized`` overrides ``config.vectorized_execution`` for this one
+        query (the parity tests and the batch-pipeline bench compare the two
+        pipelines over the same engine this way).
+        """
+        config = self.config
+        if vectorized is not None and vectorized != config.vectorized_execution:
+            config = config.with_overrides(vectorized_execution=vectorized)
         report = QueryReport(label=query.label)
         sequence = self.recache.begin_query()
         started = time.perf_counter()
@@ -83,7 +91,7 @@ class QueryEngine:
         ctx = ExecutionContext(
             catalog=self.catalog,
             recache=self.recache,
-            config=self.config,
+            config=config,
             report=report,
             sequence=sequence,
             query_started=started,

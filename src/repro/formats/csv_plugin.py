@@ -12,6 +12,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro.engine.batch import RecordBatch
 from repro.engine.types import AtomType, RecordType
 from repro.formats.positional_map import PositionalMap
 
@@ -87,6 +88,43 @@ class CSVPlugin:
         if new_map is not None:
             new_map.mark_complete()
             self.positional_map = new_map
+
+    def scan_batches(
+        self,
+        fields: Sequence[str] | None = None,
+        batch_size: int = 1024,
+        with_payload: bool = False,
+    ) -> Iterator[RecordBatch]:
+        """Yield the file as :class:`RecordBatch` chunks of ``batch_size`` records.
+
+        CSV is flat, so records and rows coincide.  ``with_payload`` attaches
+        the raw text line and its approximate byte size per record — what the
+        caching materializer needs to later parse complete tuples of the
+        satisfying records without re-reading the file.
+
+        An empty ``fields`` list reads as all fields, matching how the row
+        executor invokes CSV scans (``fields or None``) for bare-scan queries.
+        """
+        wanted = self._resolve_fields(fields or None)
+        columns: dict[str, list] = {name: [] for name in wanted}
+        lines: list[str] | None = [] if with_payload else None
+        nbytes: list[int] | None = [] if with_payload else None
+        count = 0
+        for line, row in self.scan_with_lines(fields or None):
+            for name in wanted:
+                columns[name].append(row[name])
+            if with_payload:
+                lines.append(line)
+                nbytes.append(max(16, len(line)))
+            count += 1
+            if count >= batch_size:
+                yield RecordBatch(columns, row_count=count, records=lines, record_bytes=nbytes)
+                columns = {name: [] for name in wanted}
+                lines = [] if with_payload else None
+                nbytes = [] if with_payload else None
+                count = 0
+        if count:
+            yield RecordBatch(columns, row_count=count, records=lines, record_bytes=nbytes)
 
     def parse_full(self, line: str) -> dict:
         """Parse every field of one raw CSV line (the complete tuple)."""

@@ -57,6 +57,15 @@ class DataSource:
             return self.plugin.scan_records(fields)
         return self.plugin.scan(fields)
 
+    def scan_batches(
+        self,
+        fields: Sequence[str] | None = None,
+        batch_size: int = 1024,
+        with_payload: bool = False,
+    ):
+        """Scan the raw file as :class:`~repro.engine.batch.RecordBatch` chunks."""
+        return self.plugin.scan_batches(fields, batch_size=batch_size, with_payload=with_payload)
+
     def read_records(self, indexes: Sequence[int], fields: Sequence[str] | None = None) -> Iterator[dict]:
         return self.plugin.read_records(indexes, fields)
 

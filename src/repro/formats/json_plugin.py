@@ -14,6 +14,7 @@ import json
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro.engine.batch import RecordBatch, approx_record_bytes
 from repro.engine.types import RecordType, flatten_record
 from repro.formats.positional_map import PositionalMap
 
@@ -84,6 +85,58 @@ class JSONPlugin:
         if new_map is not None:
             new_map.mark_complete()
             self.positional_map = new_map
+
+    def scan_batches(
+        self,
+        fields: Sequence[str] | None = None,
+        batch_size: int = 1024,
+        with_payload: bool = False,
+    ) -> Iterator[RecordBatch]:
+        """Yield :class:`RecordBatch` chunks of ``batch_size`` *records*.
+
+        Nested records flatten into several rows each, so a batch carries
+        ``record_row_counts`` to keep the record grouping (admission sampling
+        and record-level dedup both operate on records, not rows).
+        ``with_payload`` attaches the parsed JSON object and its approximate
+        raw size per record for the caching materializer.
+        """
+        wanted = list(fields) if fields is not None else self.schema.flattened().field_names()
+        columns: dict[str, list] = {name: [] for name in wanted}
+        counts: list[int] = []
+        records: list[dict] | None = [] if with_payload else None
+        nbytes: list[int] | None = [] if with_payload else None
+        rows_in_batch = 0
+        for record in self.scan_records():
+            rows = flatten_record(record, self.schema)
+            counts.append(len(rows))
+            rows_in_batch += len(rows)
+            for row in rows:
+                for name in wanted:
+                    columns[name].append(row.get(name))
+            if with_payload:
+                records.append(record)
+                nbytes.append(approx_record_bytes(record))
+            if len(counts) >= batch_size:
+                yield RecordBatch(
+                    columns,
+                    row_count=rows_in_batch,
+                    record_row_counts=counts,
+                    records=records,
+                    record_bytes=nbytes,
+                )
+                columns = {name: [] for name in wanted}
+                counts = []
+                records = [] if with_payload else None
+                nbytes = [] if with_payload else None
+                rows_in_batch = 0
+        if counts:
+            yield RecordBatch(
+                columns,
+                row_count=rows_in_batch,
+                record_row_counts=counts,
+                records=records,
+                record_bytes=nbytes,
+            )
 
     def read_records(self, indexes: Iterable[int], fields: Sequence[str] | None = None) -> Iterator[dict]:
         """Yield flattened rows for specific JSON-line ordinals (lazy cache reuse)."""

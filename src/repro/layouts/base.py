@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Sequence
 
+from repro.engine.batch import RecordBatch, batches_from_row_iter
 from repro.engine.types import RecordType
 
 
@@ -27,6 +28,36 @@ def estimate_value_bytes(value: object) -> int:
     if isinstance(value, dict):
         return sum(estimate_value_bytes(v) for v in value.values())
     return 16
+
+
+#: columns at or below this length are sized exactly; longer ones are sampled
+EXACT_SIZE_THRESHOLD = 1024
+#: approximate number of values sampled from a long column
+SIZE_SAMPLE_TARGET = 256
+
+
+def estimate_sequence_bytes(values: Sequence) -> int:
+    """Estimated total size of one column (or tuple list) of cached values.
+
+    Small sequences (up to :data:`EXACT_SIZE_THRESHOLD` values) are summed
+    exactly; longer ones extrapolate from a deterministic stride sample of
+    ~:data:`SIZE_SAMPLE_TARGET` values.  This removes the O(rows x fields)
+    per-value summation from layout constructors while keeping the eviction
+    accounting within a few percent of the exact figure (only *relative* item
+    sizes matter to the policies).
+    """
+    count = len(values)
+    if count <= EXACT_SIZE_THRESHOLD:
+        return sum(estimate_value_bytes(value) for value in values)
+    # Evenly spaced fractional positions instead of a fixed stride: the step
+    # alternates between floor and ceil of count/target, which avoids locking
+    # onto periodic value patterns (a fixed stride divisible by the pattern
+    # period would sample only one phase of it).
+    total = sum(
+        estimate_value_bytes(values[(i * count) // SIZE_SAMPLE_TARGET])
+        for i in range(SIZE_SAMPLE_TARGET)
+    )
+    return int(round(total / SIZE_SAMPLE_TARGET * count))
 
 
 class CacheLayout:
@@ -70,6 +101,17 @@ class CacheLayout:
     ) -> Iterator[dict]:
         """Yield flattened rows restricted to ``fields``; filter by ``predicate``."""
         raise NotImplementedError
+
+    def scan_batches(
+        self, fields: Sequence[str] | None = None, batch_size: int = 1024
+    ) -> Iterator[RecordBatch]:
+        """Yield the cached rows as :class:`RecordBatch` chunks.
+
+        The generic implementation chunks :meth:`scan`; layouts whose storage
+        is already columnar override it to slice columns directly.
+        """
+        wanted = list(fields) if fields is not None else list(self.fields)
+        return batches_from_row_iter(self.scan(fields=wanted), wanted, batch_size)
 
     def available_fields(self) -> list[str]:
         return list(self.fields)

@@ -19,8 +19,9 @@ from typing import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro.engine.batch import RecordBatch, numeric_column_array
 from repro.engine.types import RecordType
-from repro.layouts.base import CacheLayout, estimate_value_bytes
+from repro.layouts.base import CacheLayout, estimate_sequence_bytes
 
 
 class ColumnarLayout(CacheLayout):
@@ -42,9 +43,7 @@ class ColumnarLayout(CacheLayout):
         self._columns = columns
         self._row_count = lengths.pop() if lengths else 0
         self._record_row_counts = list(record_row_counts) if record_row_counts else None
-        self._nbytes = sum(
-            sum(estimate_value_bytes(v) for v in col) for col in columns.values()
-        )
+        self._nbytes = sum(estimate_sequence_bytes(col) for col in columns.values())
         #: lazily built numeric (float64) views of columns, for vectorized filters
         self._numeric_arrays: dict[str, np.ndarray | None] = {}
 
@@ -117,22 +116,67 @@ class ColumnarLayout(CacheLayout):
         """Yield every cached row with all cached fields (no filtering)."""
         return self.scan()
 
+    def scan_batches(
+        self,
+        fields: Sequence[str] | None = None,
+        batch_size: int = 1024,
+        dedupe_records: bool = False,
+        numeric_fields: Sequence[str] | None = None,
+    ) -> Iterator[RecordBatch]:
+        """Yield the cached columns as batches by direct slicing.
+
+        The storage is already column-major, so a batch is a set of list
+        slices — no per-row work at all.  The layout's cached numeric column
+        views are sliced alongside so batch predicates reuse the one-time
+        float64 conversion across queries; ``numeric_fields`` names the
+        columns worth force-building a view for (the caller's predicate
+        columns), while other columns only reuse a view that already exists.
+        ``dedupe_records`` restricts the scan to the first flattened row of
+        each original record (see :meth:`scan`).
+        """
+        wanted = list(fields) if fields is not None else list(self.fields)
+        missing = [f for f in wanted if f not in self._columns]
+        if missing:
+            raise KeyError(f"columns not cached: {missing}")
+        prime = set(numeric_fields or ())
+        arrays = {
+            f: self.numeric_array(f) if f in prime else self._numeric_arrays.get(f)
+            for f in wanted
+        }
+        if dedupe_records:
+            first_rows = sorted(self._record_first_rows())
+            for start in range(0, len(first_rows), batch_size):
+                chunk = first_rows[start : start + batch_size]
+                batch = RecordBatch(
+                    {f: [self._columns[f][i] for i in chunk] for f in wanted},
+                    row_count=len(chunk),
+                )
+                for name, array in arrays.items():
+                    if array is not None:
+                        batch.set_numeric_view(name, array[chunk])
+                yield batch
+            return
+        for start in range(0, self._row_count, batch_size):
+            stop = min(self._row_count, start + batch_size)
+            batch = RecordBatch(
+                {f: self._columns[f][start:stop] for f in wanted}, row_count=stop - start
+            )
+            for name, array in arrays.items():
+                if array is not None:
+                    batch.set_numeric_view(name, array[start:stop])
+            yield batch
+
     # -- vectorized range filtering -------------------------------------------
     def numeric_array(self, name: str) -> np.ndarray | None:
         """A float64 view of one column (missing values become NaN).
 
-        Returns ``None`` for columns that are not numeric; the view is built
-        lazily on first use and reused by later filtered scans.
+        Returns ``None`` for columns that are not genuinely numeric (digit
+        strings stay strings, so string-typed predicates keep their row
+        semantics); the view is built lazily on first use and reused by later
+        filtered scans.
         """
         if name not in self._numeric_arrays:
-            column = self._columns[name]
-            try:
-                array = np.array(
-                    [np.nan if value is None else value for value in column], dtype=np.float64
-                )
-            except (TypeError, ValueError):
-                array = None
-            self._numeric_arrays[name] = array
+            self._numeric_arrays[name] = numeric_column_array(self._columns[name])
         return self._numeric_arrays[name]
 
     def supports_range_filter(self, fields: Sequence[str]) -> bool:
@@ -158,6 +202,19 @@ class ColumnarLayout(CacheLayout):
         missing = [f for f in wanted if f not in self._columns]
         if missing:
             raise KeyError(f"columns not cached: {missing}")
+        mask = self._range_mask(ranges, dedupe_records)
+        selected = [self._columns[f] for f in wanted]
+        for index in np.nonzero(mask)[0]:
+            yield {name: column[index] for name, column in zip(wanted, selected)}
+
+    def _range_mask(
+        self, ranges: Mapping[str, tuple[float, float]], dedupe_records: bool
+    ) -> np.ndarray:
+        """The boolean row mask for a conjunction of closed numeric ranges.
+
+        Shared by the row-yielding and batch-yielding filtered scans so the
+        two executor fast paths can never drift apart semantically.
+        """
         mask = np.ones(self._row_count, dtype=bool)
         for field, (low, high) in ranges.items():
             array = self.numeric_array(field)
@@ -168,9 +225,35 @@ class ColumnarLayout(CacheLayout):
             keep = np.zeros(self._row_count, dtype=bool)
             keep[list(self._record_first_rows())] = True
             mask &= keep
-        selected = [self._columns[f] for f in wanted]
-        for index in np.nonzero(mask)[0]:
-            yield {name: column[index] for name, column in zip(wanted, selected)}
+        return mask
+
+    def range_filtered_batch(
+        self,
+        ranges: Mapping[str, tuple[float, float]],
+        fields: Sequence[str] | None = None,
+        dedupe_records: bool = False,
+    ) -> RecordBatch:
+        """One :class:`RecordBatch` of the rows satisfying closed numeric ranges.
+
+        Same filter semantics as :meth:`scan_range_filtered`, but the matching
+        rows are gathered into batch columns (and sliced numeric views) instead
+        of per-row dictionaries — the cache-hit fast path of the batched
+        executor.
+        """
+        wanted = list(fields) if fields is not None else list(self.fields)
+        missing = [f for f in wanted if f not in self._columns]
+        if missing:
+            raise KeyError(f"columns not cached: {missing}")
+        indexes = np.nonzero(self._range_mask(ranges, dedupe_records))[0].tolist()
+        batch = RecordBatch(
+            {f: [self._columns[f][i] for i in indexes] for f in wanted},
+            row_count=len(indexes),
+        )
+        for name in wanted:
+            array = self._numeric_arrays.get(name)
+            if array is not None:
+                batch.set_numeric_view(name, array[indexes])
+        return batch
 
     def _record_first_rows(self) -> set[int]:
         """Row indexes holding the first flattened row of each original record."""

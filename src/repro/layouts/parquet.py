@@ -14,9 +14,10 @@ from typing import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro.engine.batch import numeric_column_array
 from repro.engine.types import RecordType
 from repro.layouts.assembly import assemble_records, assemble_rows, repetition_group
-from repro.layouts.base import CacheLayout, estimate_value_bytes
+from repro.layouts.base import CacheLayout, estimate_sequence_bytes
 from repro.layouts.striping import StripedColumn, stripe_records
 
 
@@ -36,7 +37,7 @@ class ParquetLayout(CacheLayout):
         self._columns = columns
         self._record_count = record_count
         self._nbytes = sum(
-            sum(estimate_value_bytes(v) for v in col.values)
+            estimate_sequence_bytes(col.values)
             # one byte each for the repetition and definition levels
             + 2 * col.entry_count
             for col in columns.values()
@@ -107,7 +108,7 @@ class ParquetLayout(CacheLayout):
 
     # -- vectorized range filtering (non-nested columns only) ------------------
     def numeric_array(self, name: str) -> np.ndarray | None:
-        """A float64 view of a non-nested column (one value per record)."""
+        """A float64 view of a non-nested numeric column (one value per record)."""
         if name not in self._numeric_arrays:
             column = self._columns.get(name)
             if column is None or column.is_nested:
@@ -120,13 +121,7 @@ class ParquetLayout(CacheLayout):
                         values.append(column.values[start])
                     else:
                         values.append(None)
-                try:
-                    self._numeric_arrays[name] = np.array(
-                        [np.nan if value is None else value for value in values],
-                        dtype=np.float64,
-                    )
-                except (TypeError, ValueError):
-                    self._numeric_arrays[name] = None
+                self._numeric_arrays[name] = numeric_column_array(values)
         return self._numeric_arrays[name]
 
     def supports_range_filter(self, fields: Sequence[str]) -> bool:

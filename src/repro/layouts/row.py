@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Sequence
 
+from repro.engine.batch import RecordBatch
 from repro.engine.types import RecordType
-from repro.layouts.base import CacheLayout, estimate_value_bytes
+from repro.layouts.base import CacheLayout, estimate_sequence_bytes
 
 
 class RowLayout(CacheLayout):
@@ -30,9 +31,7 @@ class RowLayout(CacheLayout):
         self._tuples: list[tuple] = [tuple(row.get(f) for f in self.fields) for row in rows]
         self._field_index = {name: i for i, name in enumerate(self.fields)}
         self._record_row_counts = list(record_row_counts) if record_row_counts else None
-        self._nbytes = sum(
-            sum(estimate_value_bytes(v) for v in tup) for tup in self._tuples
-        )
+        self._nbytes = estimate_sequence_bytes(self._tuples)
 
     @classmethod
     def from_rows(
@@ -64,6 +63,17 @@ class RowLayout(CacheLayout):
         """Rows contributed by each original nested record (None for flat data)."""
         return self._record_row_counts
 
+    def _record_first_rows(self) -> set[int] | None:
+        """Positions of each record's first flattened row (None for flat data)."""
+        if self._record_row_counts is None:
+            return None
+        first_rows: set[int] = set()
+        cursor = 0
+        for count in self._record_row_counts:
+            first_rows.add(cursor)
+            cursor += max(1, count)
+        return first_rows
+
     def scan(
         self,
         fields: Sequence[str] | None = None,
@@ -73,19 +83,32 @@ class RowLayout(CacheLayout):
         """Yield rows for ``fields``; ``dedupe_records`` keeps one row per record."""
         wanted = list(fields) if fields is not None else list(self.fields)
         indexes = [self._field_index[f] for f in wanted]
-        first_rows: set[int] | None = None
-        if dedupe_records and self._record_row_counts is not None:
-            first_rows = set()
-            cursor = 0
-            for count in self._record_row_counts:
-                first_rows.add(cursor)
-                cursor += max(1, count)
+        first_rows = self._record_first_rows() if dedupe_records else None
         for position, tup in enumerate(self._tuples):
             if first_rows is not None and position not in first_rows:
                 continue
             row = {name: tup[idx] for name, idx in zip(wanted, indexes)}
             if predicate is None or predicate(row):
                 yield row
+
+    def scan_batches(
+        self,
+        fields: Sequence[str] | None = None,
+        batch_size: int = 1024,
+        dedupe_records: bool = False,
+    ) -> Iterator[RecordBatch]:
+        """Yield the cached tuples as batches (columns built by unzipping)."""
+        wanted = list(fields) if fields is not None else list(self.fields)
+        indexes = [self._field_index[f] for f in wanted]
+        first_rows = self._record_first_rows() if dedupe_records else None
+        if first_rows is not None:
+            tuples = [t for i, t in enumerate(self._tuples) if i in first_rows]
+        else:
+            tuples = self._tuples
+        for start in range(0, len(tuples), batch_size):
+            chunk = tuples[start : start + batch_size]
+            columns = {name: [t[i] for t in chunk] for name, i in zip(wanted, indexes)}
+            yield RecordBatch(columns, row_count=len(chunk))
 
     def rows(self) -> Iterator[dict]:
         """Yield every cached row with all cached fields (no filtering)."""

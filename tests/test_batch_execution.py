@@ -1,0 +1,468 @@
+"""Batched vectorized execution: parity with the row interpreter, batch
+compiler semantics, RecordBatch mechanics, and the sampled size estimator."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    AggregateSpec,
+    And,
+    Comparison,
+    FieldRef,
+    JoinSpec,
+    Literal,
+    Not,
+    Or,
+    Query,
+    QueryEngine,
+    RangePredicate,
+    ReCacheConfig,
+    RecordBatch,
+    TableRef,
+)
+from repro.engine.batch import concat_batches
+from repro.engine.compiler import compile_batch_predicate, compile_predicate
+from repro.engine.expressions import Arithmetic
+from repro.formats import write_csv, write_json_lines
+from repro.layouts import build_layout
+from repro.layouts.base import EXACT_SIZE_THRESHOLD, estimate_sequence_bytes, estimate_value_bytes
+from repro.workloads.nested import synthetic_order_lineitems
+from repro.workloads.tpch import ORDER_LINEITEMS_SCHEMA
+from tests.conftest import FLAT_SCHEMA, build_engine
+
+
+# ---------------------------------------------------------------------------
+# Parity harness
+# ---------------------------------------------------------------------------
+def _canonical(rows: list[dict]) -> list[dict]:
+    """Rows in a comparable form (aggregate outputs may reorder groups)."""
+    return sorted(rows, key=lambda row: tuple(str(item) for item in sorted(row.items())))
+
+
+def _report_counters(report) -> dict:
+    return {
+        "rows_returned": report.rows_returned,
+        "exact_hits": report.exact_hits,
+        "subsumption_hits": report.subsumption_hits,
+        "misses": report.misses,
+        "lazy_upgrades": report.lazy_upgrades,
+        "admissions": dict(report.admissions),
+    }
+
+
+def _cache_counters(engine: QueryEngine) -> dict:
+    stats = engine.cache_stats
+    return {
+        "exact_hits": stats.exact_hits,
+        "subsumption_hits": stats.subsumption_hits,
+        "misses": stats.misses,
+        "admissions_eager": stats.admissions_eager,
+        "admissions_lazy": stats.admissions_lazy,
+        "evictions": stats.evictions,
+        "lazy_upgrades": stats.lazy_upgrades,
+        "entries": len(engine.recache.entries()),
+    }
+
+
+def assert_parity(make_engine, queries: list[Query]) -> None:
+    """Run ``queries`` on two fresh engines — one batched, one interpreted —
+    and assert identical results, per-query counters and cache behaviour."""
+    batched_engine = make_engine(vectorized_execution=True)
+    interpreted_engine = make_engine(vectorized_execution=False)
+    for index, query in enumerate(queries):
+        batched = batched_engine.execute(query)
+        interpreted = interpreted_engine.execute(query)
+        assert _canonical(batched.results) == _canonical(interpreted.results), (
+            f"result mismatch on query #{index} ({query.label or query.signature()})"
+        )
+        assert _report_counters(batched) == _report_counters(interpreted), (
+            f"report mismatch on query #{index}"
+        )
+    assert _cache_counters(batched_engine) == _cache_counters(interpreted_engine)
+
+
+def _spa(source, field, low, high, aggs, label=""):
+    return Query.select_aggregate(
+        source,
+        RangePredicate(field, low, high),
+        [AggregateSpec(func, FieldRef(path)) for func, path in aggs],
+        label=label,
+    )
+
+
+FLAT_NESTED_WORKLOAD = [
+    _spa("flat", "id", 50, 150, [("sum", "value"), ("count", "id")], "cold-flat"),
+    _spa("flat", "id", 50, 150, [("sum", "value"), ("count", "id")], "exact-hit"),
+    _spa("flat", "id", 80, 120, [("avg", "score"), ("min", "value")], "subsumed"),
+    _spa("orders", "o_totalprice", 0, 1e6, [("sum", "lineitems.l_quantity")], "cold-nested"),
+    _spa("orders", "o_totalprice", 0, 1e6, [("sum", "lineitems.l_quantity")], "nested-hit"),
+    _spa("orders", "o_totalprice", 0, 1e6, [("count", "o_orderkey")], "record-level"),
+    Query(
+        tables=[
+            TableRef("flat", RangePredicate("id", 0, 300)),
+            TableRef("orders", RangePredicate("o_totalprice", 0, 1e6)),
+        ],
+        joins=[JoinSpec("flat", "id", "orders", "o_orderkey")],
+        aggregates=[AggregateSpec("count", FieldRef("id")), AggregateSpec("sum", FieldRef("value"))],
+        label="join",
+    ),
+    Query(
+        tables=[TableRef("flat", RangePredicate("id", 0, 400))],
+        aggregates=[AggregateSpec("sum", FieldRef("value")), AggregateSpec("count", FieldRef("id"))],
+        group_by=["group"],
+        label="group-by",
+    ),
+    # Bare scan: no predicate, no aggregates — required_fields() is empty and
+    # the CSV path must read all fields in both pipelines.
+    Query(tables=[TableRef("flat")], label="bare-scan"),
+]
+
+
+class TestExecutionParity:
+    @pytest.fixture()
+    def make_engine(self, dataset_dir):
+        def build(**overrides):
+            overrides.setdefault("admission_sample_records", 50)
+            overrides.setdefault("adaptive_admission", False)
+            overrides.setdefault("layout_selection", False)
+            return build_engine(dataset_dir, ReCacheConfig(**overrides))
+
+        return build
+
+    def test_eager_workload_parity(self, make_engine):
+        assert_parity(make_engine, FLAT_NESTED_WORKLOAD)
+
+    def test_always_lazy_parity(self, make_engine):
+        def lazy_engine(**overrides):
+            overrides["always_lazy"] = True
+            return make_engine(**overrides)
+
+        assert_parity(lazy_engine, FLAT_NESTED_WORKLOAD)
+
+    def test_lazy_upgrade_parity(self, make_engine):
+        def upgrade_engine(**overrides):
+            # Lazy admission on the first query, upgraded to eager on reuse.
+            overrides["adaptive_admission"] = True
+            overrides["admission_threshold"] = 1e-9
+            return make_engine(**overrides)
+
+        queries = [
+            _spa("flat", "id", 50, 150, [("sum", "value")], "cold"),
+            _spa("flat", "id", 50, 150, [("sum", "value")], "upgrading-hit"),
+            _spa("flat", "id", 50, 150, [("sum", "value")], "eager-hit"),
+        ]
+        assert_parity(upgrade_engine, queries)
+
+    def test_eviction_parity(self, make_engine):
+        def bounded_engine(**overrides):
+            overrides["cache_size_limit"] = 6_000
+            return make_engine(**overrides)
+
+        queries = [
+            _spa("flat", "id", 0, 100, [("sum", "value")], "a"),
+            _spa("flat", "id", 100, 200, [("sum", "value")], "b"),
+            _spa("flat", "id", 200, 300, [("sum", "value")], "c"),
+            _spa("flat", "id", 0, 100, [("sum", "value")], "a-again"),
+        ]
+        assert_parity(bounded_engine, queries)
+
+    def test_row_layout_parity(self, make_engine):
+        def row_engine(**overrides):
+            overrides["default_flat_layout"] = "row"
+            return make_engine(**overrides)
+
+        queries = FLAT_NESTED_WORKLOAD[:3]
+        assert_parity(row_engine, queries)
+
+    def test_columnar_nested_layout_parity(self, make_engine):
+        def columnar_engine(**overrides):
+            overrides["default_nested_layout"] = "columnar"
+            return make_engine(**overrides)
+
+        assert_parity(columnar_engine, FLAT_NESTED_WORKLOAD[3:6])
+
+    def test_batch_size_one_degenerate_case(self, make_engine):
+        def tiny_batches(**overrides):
+            overrides["batch_size"] = 1
+            return make_engine(**overrides)
+
+        assert_parity(tiny_batches, FLAT_NESTED_WORKLOAD)
+
+    def test_caching_disabled_parity(self, make_engine):
+        def no_cache(**overrides):
+            overrides["caching_enabled"] = False
+            return make_engine(**overrides)
+
+        assert_parity(no_cache, FLAT_NESTED_WORKLOAD)
+
+    def test_per_query_vectorized_override(self, make_engine):
+        engine = make_engine(vectorized_execution=True)
+        query = FLAT_NESTED_WORKLOAD[0]
+        batched = engine.execute(query, vectorized=True)
+        interpreted = engine.execute(query, vectorized=False)
+        assert batched.results == interpreted.results
+        assert interpreted.exact_hits == 1
+
+
+class TestEdgeCaseParity:
+    """Empty files, blank lines and degenerate nested records, both formats."""
+
+    @pytest.fixture()
+    def edge_dir(self, tmp_path):
+        write_csv(tmp_path / "empty.csv", FLAT_SCHEMA, [])
+        (tmp_path / "blank.csv").write_text(
+            "1|0.5|0|1.0\n\n2|1.5|1|2.0\n\n\n3|2.5|2|3.0\n", encoding="utf-8"
+        )
+        write_json_lines(tmp_path / "empty.json", [])
+        records = synthetic_order_lineitems(5, seed=11)
+        # One record with an empty nested collection and one with nulls.
+        records[2]["lineitems"] = []
+        records[3]["o_totalprice"] = None
+        lines = "\n".join(json.dumps(record, separators=(",", ":")) for record in records)
+        # A trailing blank line exercises the positional-map blank-line handling.
+        (tmp_path / "edge.json").write_text(lines + "\n\n", encoding="utf-8")
+        return tmp_path
+
+    def _engines(self, edge_dir, **overrides):
+        overrides.setdefault("adaptive_admission", False)
+        overrides.setdefault("layout_selection", False)
+        engines = []
+        for vectorized in (True, False):
+            engine = QueryEngine(ReCacheConfig(vectorized_execution=vectorized, **overrides))
+            engine.register_csv("empty_csv", edge_dir / "empty.csv", FLAT_SCHEMA)
+            engine.register_csv("blank_csv", edge_dir / "blank.csv", FLAT_SCHEMA)
+            engine.register_json("empty_json", edge_dir / "empty.json", ORDER_LINEITEMS_SCHEMA)
+            engine.register_json("edge_json", edge_dir / "edge.json", ORDER_LINEITEMS_SCHEMA)
+            engines.append(engine)
+        return engines
+
+    def test_edge_sources_parity(self, edge_dir):
+        batched, interpreted = self._engines(edge_dir)
+        queries = [
+            _spa("empty_csv", "id", 0, 10, [("count", "id")], "empty-csv"),
+            _spa("blank_csv", "id", 0, 10, [("sum", "value"), ("count", "id")], "blank-csv"),
+            _spa("blank_csv", "id", 0, 10, [("sum", "value")], "blank-csv-hit"),
+            _spa("empty_json", "o_totalprice", 0, 1e9, [("count", "o_orderkey")], "empty-json"),
+            _spa("edge_json", "o_totalprice", 0, 1e9, [("count", "o_orderkey")], "edge-records"),
+            _spa("edge_json", "o_totalprice", 0, 1e9, [("sum", "lineitems.l_quantity")], "edge-nested"),
+            _spa("edge_json", "o_totalprice", 0, 1e9, [("sum", "lineitems.l_quantity")], "edge-hit"),
+        ]
+        for query in queries:
+            left = batched.execute(query)
+            right = interpreted.execute(query)
+            assert _canonical(left.results) == _canonical(right.results), query.label
+            assert _report_counters(left) == _report_counters(right), query.label
+        assert _cache_counters(batched) == _cache_counters(interpreted)
+
+    def test_batch_size_one_edge_sources(self, edge_dir):
+        batched, interpreted = self._engines(edge_dir, batch_size=1)
+        query = _spa("edge_json", "o_totalprice", 0, 1e9, [("sum", "lineitems.l_quantity")])
+        assert batched.execute(query).results == interpreted.execute(query).results
+
+
+# ---------------------------------------------------------------------------
+# Batch predicate compiler
+# ---------------------------------------------------------------------------
+def _mask_matches_rows(expr, rows: list[dict]) -> None:
+    batch = RecordBatch.from_rows(rows, sorted({key for row in rows for key in row}))
+    mask = compile_batch_predicate(expr)(batch)
+    row_predicate = compile_predicate(expr)
+    expected = np.array([bool(row_predicate(row)) for row in rows], dtype=bool)
+    assert mask.dtype == np.bool_
+    np.testing.assert_array_equal(mask, expected, err_msg=expr.signature())
+
+
+class TestBatchPredicates:
+    ROWS = [
+        {"a": 1, "b": 10.0, "s": "x"},
+        {"a": 2, "b": None, "s": "y"},
+        {"a": None, "b": 3.5, "s": None},
+        {"a": 4, "b": -1.0, "s": "x"},
+        {"a": 5, "b": 0.0, "s": "z"},
+    ]
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            RangePredicate("a", 2, 4),
+            RangePredicate("a", 2, 4, low_inclusive=False),
+            RangePredicate("a", 2, 4, high_inclusive=False),
+            Comparison("<", FieldRef("a"), Literal(3)),
+            Comparison(">=", FieldRef("b"), Literal(0.0)),
+            Comparison("==", FieldRef("a"), Literal(2)),
+            Comparison("!=", FieldRef("a"), Literal(2)),
+            Comparison("<", FieldRef("a"), FieldRef("b")),
+            And([RangePredicate("a", 1, 5), Comparison(">", FieldRef("b"), Literal(0))]),
+            Or([Comparison("==", FieldRef("a"), Literal(1)), RangePredicate("b", 3, 4)]),
+            Not(RangePredicate("a", 2, 4)),
+            Not(Comparison("!=", FieldRef("a"), Literal(2))),
+        ],
+    )
+    def test_vectorized_masks_match_interpreter(self, expr):
+        _mask_matches_rows(expr, self.ROWS)
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            Comparison("==", FieldRef("s"), Literal("x")),  # string literal
+            Comparison("!=", FieldRef("s"), Literal("x")),
+            And([RangePredicate("a", 1, 5), Comparison("==", FieldRef("s"), Literal("y"))]),
+        ],
+    )
+    def test_fallback_masks_match_interpreter(self, expr):
+        _mask_matches_rows(expr, self.ROWS)
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            # Arithmetic over nullable fields: None propagates to a False
+            # comparison in both pipelines (never a TypeError).
+            Comparison(">", Arithmetic("+", FieldRef("a"), Literal(1)), Literal(3)),
+            Comparison("!=", Arithmetic("*", FieldRef("a"), FieldRef("b")), Literal(4.0)),
+            Comparison("<=", Literal(0.0), Arithmetic("-", FieldRef("b"), FieldRef("a"))),
+        ],
+    )
+    def test_arithmetic_null_semantics_match(self, expr):
+        _mask_matches_rows(expr, self.ROWS)
+
+    def test_missing_column_reads_as_null(self):
+        _mask_matches_rows(RangePredicate("missing", 0, 1), self.ROWS)
+        _mask_matches_rows(Not(RangePredicate("missing", 0, 1)), self.ROWS)
+
+    def test_digit_strings_are_not_coerced_to_numbers(self):
+        # NumPy would parse '12' as 12.0; the interpreter raises TypeError on
+        # str-vs-int comparison, so the batch must fall back (and raise too).
+        batch = RecordBatch.from_rows([{"zip": "12"}, {"zip": "7"}], ["zip"])
+        assert batch.numeric_view("zip") is None
+        with pytest.raises(TypeError):
+            compile_batch_predicate(Comparison(">", FieldRef("zip"), Literal(10)))(batch)
+
+    def test_none_predicate_accepts_everything(self):
+        batch = RecordBatch.from_rows(self.ROWS, ["a", "b", "s"])
+        assert compile_batch_predicate(None)(batch).all()
+
+    def test_closure_cache_is_order_faithful(self):
+        # And children sort identically in the *signature*, so these two
+        # predicates would collide on a signature-keyed cache — but their
+        # short-circuit order differs: only `ordered` guards the division.
+        division = Comparison(">", Arithmetic("/", Literal(1.0), FieldRef("a")), Literal(0.5))
+        positive = Comparison(">", FieldRef("a"), Literal(0))
+        unordered = And([division, positive])
+        ordered = And([positive, division])
+        assert unordered.signature() == ordered.signature()
+        unguarded = compile_predicate(unordered)
+        guarded = compile_predicate(ordered)
+        assert guarded({"a": 0}) is False  # guard short-circuits the division
+        with pytest.raises(ZeroDivisionError):
+            unguarded({"a": 0})
+
+
+# ---------------------------------------------------------------------------
+# RecordBatch mechanics
+# ---------------------------------------------------------------------------
+class TestRecordBatch:
+    def test_take_project_and_rows_roundtrip(self):
+        rows = [{"a": i, "b": i * 0.5} for i in range(10)]
+        batch = RecordBatch.from_rows(rows, ["a", "b"])
+        taken = batch.take([1, 3, 5])
+        assert taken.to_rows() == [rows[1], rows[3], rows[5]]
+        projected = batch.project(["b", "missing"])
+        assert projected.to_rows()[0] == {"b": 0.0, "missing": None}
+
+    def test_slice_records_with_grouping(self):
+        batch = RecordBatch(
+            {"v": [1, 2, 3, 4, 5, 6]},
+            record_row_counts=[2, 1, 3],
+            records=["r0", "r1", "r2"],
+            record_bytes=[20, 10, 30],
+        )
+        head = batch.slice_records(0, 2)
+        tail = batch.slice_records(2, 3)
+        assert head.column("v") == [1, 2, 3] and head.records == ["r0", "r1"]
+        assert tail.column("v") == [4, 5, 6] and tail.record_bytes == [30]
+        assert head.record_count == 2 and tail.record_count == 1
+
+    def test_record_level_mask_helpers(self):
+        batch = RecordBatch({"v": [0, 1, 1, 0, 1]}, record_row_counts=[2, 2, 1])
+        mask = np.array([False, True, True, False, True])
+        assert batch.records_with_true(mask).tolist() == [0, 1, 2]
+        assert batch.first_true_per_record(mask).tolist() == [1, 2, 4]
+
+    def test_concat_preserves_order_and_union_fields(self):
+        left = RecordBatch({"a": [1, 2]})
+        right = RecordBatch({"a": [3], "b": ["x"]})
+        merged = concat_batches([left, right])
+        assert merged.column("a") == [1, 2, 3]
+        assert merged.column("b") == [None, None, "x"]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            RecordBatch({"a": [1, 2], "b": [1]})
+
+
+# ---------------------------------------------------------------------------
+# Layout batch scans
+# ---------------------------------------------------------------------------
+class TestLayoutBatchScans:
+    @pytest.mark.parametrize("layout_name", ["row", "columnar"])
+    def test_flat_layout_batches_match_scan(self, layout_name):
+        rows = [{"a": i, "b": float(i) / 3} for i in range(57)]
+        schema = FLAT_SCHEMA  # schema content unused by flat layouts
+        layout = build_layout(layout_name, schema, ["a", "b"], rows=rows)
+        scanned = list(layout.scan(fields=["b", "a"]))
+        batched = []
+        for batch in layout.scan_batches(fields=["b", "a"], batch_size=10):
+            batched.extend(batch.to_rows())
+        assert batched == scanned
+
+    def test_columnar_dedupe_batches_match_scan(self):
+        rows = [{"a": i // 2, "b": i} for i in range(20)]
+        layout = build_layout(
+            "columnar", FLAT_SCHEMA, ["a", "b"], rows=rows, record_row_counts=[2] * 10
+        )
+        scanned = list(layout.scan(fields=["a"], dedupe_records=True))
+        batched = []
+        for batch in layout.scan_batches(fields=["a"], batch_size=3, dedupe_records=True):
+            batched.extend(batch.to_rows())
+        assert batched == scanned
+
+    def test_layout_numeric_arrays_reject_digit_strings(self):
+        rows = [{"a": i, "z": str(i)} for i in range(10)]
+        layout = build_layout("columnar", FLAT_SCHEMA, ["a", "z"], rows=rows)
+        assert layout.numeric_array("a") is not None
+        assert layout.numeric_array("z") is None
+        assert not layout.supports_range_filter(["z"])
+
+    def test_columnar_range_filtered_batch_matches_iterator(self):
+        rows = [{"a": i, "b": float(i % 7)} for i in range(40)]
+        layout = build_layout("columnar", FLAT_SCHEMA, ["a", "b"], rows=rows)
+        ranges = {"b": (2.0, 5.0)}
+        expected = list(layout.scan_range_filtered(ranges, fields=["a", "b"]))
+        batch = layout.range_filtered_batch(ranges, fields=["a", "b"])
+        assert batch.to_rows() == expected
+        # The gathered numeric views stay aligned with the gathered columns.
+        view = batch.numeric_view("b")
+        assert view is not None and view.tolist() == [row["b"] for row in expected]
+
+
+# ---------------------------------------------------------------------------
+# Sampled size estimation
+# ---------------------------------------------------------------------------
+class TestSampledSizeEstimation:
+    def test_small_columns_are_exact(self):
+        values = ["x" * (i % 11) for i in range(EXACT_SIZE_THRESHOLD)]
+        assert estimate_sequence_bytes(values) == sum(estimate_value_bytes(v) for v in values)
+
+    def test_large_columns_within_a_few_percent(self):
+        values = [i * 1.0 if i % 3 else "word-%d" % i for i in range(50_000)]
+        exact = sum(estimate_value_bytes(v) for v in values)
+        sampled = estimate_sequence_bytes(values)
+        assert abs(sampled - exact) / exact < 0.05
+
+    def test_uniform_values_are_estimated_exactly(self):
+        values = [1.5] * 10_000
+        assert estimate_sequence_bytes(values) == 8 * 10_000

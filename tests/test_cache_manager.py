@@ -186,3 +186,124 @@ class TestLayoutSwitchIntegration:
             cache.record_reuse(entry, 3.0, 0.001, observation)
         assert entry.layout_name == "parquet"
         assert cache.stats.layout_switches == 0
+
+
+class TestOutOfLockLayoutSwitch:
+    """The conversion runs outside the lock; install re-validates the world."""
+
+    def _reuse_until_switch_decision(self, cache, entry, queries=5):
+        rows = entry.layout.flattened_row_count
+        results = []
+        for i in range(queries):
+            cache.begin_query()
+            observation = LayoutObservation(
+                query_index=i,
+                layout_name=entry.layout_name,
+                data_cost=1.0,
+                compute_cost=2.0,
+                rows_accessed=rows,
+                columns_accessed=3,
+                accessed_nested=True,
+            )
+            results.append(cache.record_reuse(entry, 3.0, 0.001, observation))
+        return results
+
+    def _nested_cache(self):
+        cache = ReCache(ReCacheConfig(layout_selection=True))
+        records = synthetic_order_lineitems(30, seed=2)
+        fields = ORDER_LINEITEMS_SCHEMA.leaf_paths()
+        layout = build_layout("parquet", ORDER_LINEITEMS_SCHEMA, fields, records=records)
+        cache.begin_query()
+        entry = cache.admit_eager(
+            source="orders",
+            source_format="json",
+            predicate=None,
+            fields=fields,
+            layout=layout,
+            operator_time=1.0,
+            caching_time=0.5,
+        )
+        return cache, entry
+
+    def test_eviction_during_conversion_drops_the_switch(self, monkeypatch):
+        from repro.core import cache_manager as cm
+
+        cache, entry = self._nested_cache()
+        real_convert = cm.convert_layout
+
+        def evict_mid_conversion(layout, target, schema):
+            converted = real_convert(layout, target, schema)
+            cache.evict_entry(entry)  # another thread evicts while we convert
+            return converted
+
+        monkeypatch.setattr(cm, "convert_layout", evict_mid_conversion)
+        results = self._reuse_until_switch_decision(cache, entry)
+        # The decision fired (convert ran, hence the eviction), but the install
+        # re-validated residency and dropped the converted layout.
+        assert all(result is None for result in results)
+        assert entry.layout_name == "parquet"
+        assert cache.stats.layout_switches == 0
+        assert cache.total_bytes == 0  # eviction accounting untouched
+
+    def test_concurrent_layout_change_loses_the_race(self, monkeypatch):
+        from repro.core import cache_manager as cm
+
+        cache, entry = self._nested_cache()
+        real_convert = cm.convert_layout
+        occupancy_before = cache.total_bytes
+
+        def swap_mid_conversion(layout, target, schema):
+            converted, seconds = real_convert(layout, target, schema)
+            # Another thread replaced the entry's layout while we converted:
+            # install must notice `entry.layout is not old_layout` and bail.
+            other, _ = real_convert(entry.layout, target, schema)
+            with cache._lock:
+                delta = other.nbytes - entry.nbytes
+                entry.replace_layout(other)
+                cache._adjust_occupancy(delta)
+            return converted, seconds
+
+        monkeypatch.setattr(cm, "convert_layout", swap_mid_conversion)
+        results = self._reuse_until_switch_decision(cache, entry)
+        assert all(result is None for result in results)
+        assert cache.stats.layout_switches == 0
+        assert occupancy_before > 0
+        # Occupancy reflects exactly the racing replacement, nothing double.
+        assert cache.total_bytes == entry.nbytes
+
+    def test_switch_still_succeeds_without_interference(self):
+        cache, entry = self._nested_cache()
+        results = self._reuse_until_switch_decision(cache, entry)
+        assert "columnar" in results
+        assert entry.layout_name == "columnar"
+        assert cache.stats.layout_switches == 1
+
+    def test_concurrent_switch_of_same_entry_runs_one_conversion(self, monkeypatch):
+        from repro.core import cache_manager as cm
+
+        cache, entry = self._nested_cache()
+        real_convert = cm.convert_layout
+        conversions = []
+
+        def nested_reuse_during_conversion(layout, target, schema):
+            conversions.append(target)
+            # While this conversion is in flight, a "concurrent" reuse sees the
+            # in-progress flag and must skip its own conversion entirely.
+            rows = entry.layout.flattened_row_count
+            observation = LayoutObservation(
+                query_index=99,
+                layout_name=entry.layout_name,
+                data_cost=1.0,
+                compute_cost=2.0,
+                rows_accessed=rows,
+                columns_accessed=3,
+                accessed_nested=True,
+            )
+            assert cache.record_reuse(entry, 3.0, 0.001, observation) is None
+            return real_convert(layout, target, schema)
+
+        monkeypatch.setattr(cm, "convert_layout", nested_reuse_during_conversion)
+        results = self._reuse_until_switch_decision(cache, entry)
+        assert "columnar" in results
+        assert conversions == ["columnar"]  # exactly one conversion ran
+        assert cache.stats.layout_switches == 1
