@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Macro-benchmark: async batched submission vs per-request serving.
+
+Two measurements of the serving tier added on top of the reproduction:
+
+1. **Borrowing smoke** — drives the multi-client workload runner against a
+   cold ``shard_count=4`` cache whose hottest query materializes an item
+   larger than one shard's proportional share of ``cache_size_limit``.  Under
+   the old static per-shard budget split that item could never be admitted;
+   the shared-budget protocol must admit it by borrowing global headroom
+   while keeping ``total_bytes <= cache_size_limit``.  Asserted in every
+   mode, including ``--smoke`` (it is deterministic).
+
+2. **Batched throughput** — the same zipfian multi-client streams served
+   twice: per-request ``submit()`` (every draw its own pool task) vs
+   ``submit_batch()`` (duplicates coalesced, overlapping queries grouped onto
+   one worker).  The acceptance target for full runs: batched >= 1.5x the
+   per-request queries/second.
+
+Results are written to ``BENCH_async_submission.json`` — a tracked
+perf-trajectory point like ``BENCH_batch_pipeline.json``; CI runs ``--smoke``
+and archives the JSON so the numbers are *measured* on every change.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_async_submission.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.bench.concurrency_experiments import (
+    async_submission_experiment,
+    borrowing_admission_experiment,
+)
+
+SPEEDUP_TARGET = 1.5
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "tiny datasets for CI: still asserts the borrowing invariants "
+            "(deterministic), but not the throughput ratio (noise)"
+        ),
+    )
+    parser.add_argument("--out", default="BENCH_async_submission.json", help="output JSON path")
+    args = parser.parse_args()
+
+    if args.smoke:
+        borrowing = borrowing_admission_experiment(rows=800, queries_per_client=6)
+        throughput = async_submission_experiment(
+            rows=800, clients=4, pool_size=12, queries_per_client=16, batch_size=8
+        )
+    else:
+        borrowing = borrowing_admission_experiment()
+        throughput = async_submission_experiment()
+
+    payload = {
+        "benchmark": "async_submission",
+        "smoke": args.smoke,
+        "unix_time": time.time(),
+        "python": platform.python_version(),
+        "borrowing": borrowing,
+        "throughput": throughput,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    print(
+        f"[borrowing] item {borrowing['item_bytes']}B vs share {borrowing['shard_share']}B "
+        f"(limit {borrowing['global_limit']}B, {borrowing['shard_count']} shards): "
+        f"admitted={borrowing['admitted']}, "
+        f"borrowed_admissions={borrowing['borrowed_admissions']}, "
+        f"budget_ok={borrowing['budget_ok']}"
+    )
+    print(
+        f"[throughput] per-request {throughput['per_request']['queries_per_second']:.1f} q/s, "
+        f"batched {throughput['batched']['queries_per_second']:.1f} q/s "
+        f"(speedup {throughput['batched_speedup']:.2f}x, "
+        f"coalesced {throughput['batched']['coalesced']}/{throughput['batched']['queries']})"
+    )
+
+    # The borrowing scenario is deterministic: assert it in every mode.
+    assert borrowing["item_exceeds_share"], "scenario must use an over-share item"
+    assert borrowing["admitted"], "over-share item was not admitted via borrowing"
+    assert borrowing["borrowed_admissions"] >= 1, "no borrowed admission recorded"
+    assert borrowing["budget_ok"], "global byte budget violated"
+
+    for mode in ("per_request", "batched"):
+        assert throughput[mode]["queries_per_second"] > 0.0, f"{mode} not measured"
+    if not args.smoke and throughput["batched_speedup"] < SPEEDUP_TARGET:
+        raise SystemExit(
+            f"batched speedup {throughput['batched_speedup']:.2f}x below the "
+            f"{SPEEDUP_TARGET}x target"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -173,3 +173,128 @@ def concurrent_throughput_experiment(
         "speedup_vs_single_thread": {t: qps / base for t, qps in by_threads.items()},
         "io_wait_ms": io_wait_ms,
     }
+
+
+def async_submission_experiment(
+    clients: int = 8,
+    workers: int = 4,
+    shard_count: int = 4,
+    rows: int = 4000,
+    pool_size: int = 24,
+    queries_per_client: int = 48,
+    batch_size: int = 16,
+    zipf_s: float = 1.4,
+    seed: int = 29,
+) -> dict:
+    """Batched ``submit_batch`` vs per-request ``submit`` throughput.
+
+    Both modes drive the *same* zipfian query streams (same seed, same
+    clients) against identically warmed engines; the batched mode submits
+    ``batch_size`` draws per round, letting the server coalesce duplicate hot
+    queries and group overlapping ones onto one worker, while the per-request
+    baseline queues every draw as its own pool task.  The speedup is therefore
+    purely the serving tier's doing — the engine and cache are identical.
+    """
+    pool = _query_pool(pool_size, rows)
+    results: dict[str, dict] = {}
+    for mode in ("per_request", "batched"):
+        engine = _build_engine(shard_count, rows, seed, pool)
+        with EngineServer(engine, max_workers=workers) as server:
+            runner = ConcurrentWorkloadRunner(server, clients=clients, seed=seed)
+            if mode == "batched":
+                outcome = runner.run_batched(
+                    pool,
+                    label=mode,
+                    queries_per_client=queries_per_client,
+                    batch_size=batch_size,
+                    zipf_s=zipf_s,
+                )
+            else:
+                outcome = runner.run(
+                    pool, label=mode, queries_per_client=queries_per_client, zipf_s=zipf_s
+                )
+            aggregate = outcome.aggregate
+            hits = aggregate.exact_hits + aggregate.subsumption_hits
+            results[mode] = {
+                "queries": outcome.total_queries,
+                "engine_executions": engine.query_count,
+                "wall_time": outcome.wall_time,
+                "queries_per_second": outcome.queries_per_second,
+                "hit_rate": hits / max(1, hits + aggregate.misses),
+                "coalesced": aggregate.coalesced,
+                "queue_wait_time": aggregate.queue_wait_time,
+                "peak_queue_depth": server.peak_queue_depth,
+            }
+    per_request = results["per_request"]["queries_per_second"] or 1e-9
+    results["batched_speedup"] = results["batched"]["queries_per_second"] / per_request
+    results["batch_size"] = batch_size
+    results["zipf_s"] = zipf_s
+    return results
+
+
+def borrowing_admission_experiment(
+    rows: int = 2500,
+    shard_count: int = 4,
+    clients: int = 4,
+    queries_per_client: int = 10,
+    seed: int = 23,
+) -> dict:
+    """Cross-shard borrowing under the multi-client driver (CI smoke).
+
+    Builds a pool whose hottest query caches an item larger than one shard's
+    proportional share (but within the global budget), then drives the
+    multi-client server against a *cold* sharded cache.  Under the old static
+    split that item could never be admitted; the shared-budget protocol must
+    admit it by borrowing global headroom.
+    """
+    span = rows * 2
+    big_predicate = RangePredicate("value", 0.0, span * 0.9)  # caches ~90% of the file
+    big_query = Query.select_aggregate(
+        "serve",
+        big_predicate,
+        [AggregateSpec("sum", FieldRef("weight")), AggregateSpec("count", FieldRef("id"))],
+        label="serve-big",
+    )
+    narrow = _query_pool(8, rows)
+    pool = [big_query] + narrow  # rank 0: the zipfian head, always drawn
+
+    # Probe the big item's cached size with an unlimited cache, then size the
+    # budget so the item exceeds one shard's share but fits globally.
+    probe = QueryEngine(ReCacheConfig(adaptive_admission=False))
+    probe.register_csv("serve", _serving_dataset(rows, seed), SERVE_SCHEMA)
+    probe.execute(big_query)
+    item_bytes = max(entry.nbytes for entry in probe.recache.entries())
+    limit = int(item_bytes * 1.5)
+
+    config = ReCacheConfig(
+        shard_count=shard_count,
+        cache_size_limit=limit,
+        admission_sample_records=50,
+        adaptive_admission=False,
+    )
+    engine = QueryEngine(config)
+    engine.register_csv("serve", _serving_dataset(rows, seed), SERVE_SCHEMA)
+    with EngineServer(engine, max_workers=shard_count) as server:
+        runner = ConcurrentWorkloadRunner(server, clients=clients, seed=seed)
+        runner.run_batched(
+            pool,
+            label="borrowing",
+            queries_per_client=queries_per_client,
+            batch_size=5,
+            zipf_s=1.3,
+        )
+    stats = engine.recache.stats
+    total = engine.recache.total_bytes
+    return {
+        "item_bytes": item_bytes,
+        "global_limit": limit,
+        "shard_share": limit // shard_count,
+        "shard_count": shard_count,
+        "item_exceeds_share": item_bytes > limit // shard_count,
+        "borrowed_admissions": stats.extras.get("borrowed_admissions", 0),
+        "cross_shard_rounds": stats.extras.get("cross_shard_rounds", 0),
+        "admitted": engine.recache.get_exact("serve", big_predicate) is not None
+        or stats.extras.get("borrowed_admissions", 0) > 0,
+        "budget_ok": total <= limit
+        and total == sum(entry.nbytes for entry in engine.recache.entries()),
+    }

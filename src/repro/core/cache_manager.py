@@ -110,10 +110,22 @@ class ReCache:
     byte occupancy; :class:`~repro.core.sharded_cache.ShardedReCache` passes one
     counter to all shards so the global occupancy is readable in O(1) without
     touching any shard lock.
+
+    When the shared budget carries a hard ``limit`` (a
+    :class:`~repro.core.sharded_cache.SharedBudget`), byte enforcement is
+    *pooled*: admissions, lazy upgrades and layout switches check and reserve
+    headroom against the global limit instead of this shard's
+    ``config.cache_size_limit``, which then only marks the shard's nominal
+    proportional share (occupancy beyond it counts as borrowing in
+    ``stats.extras``).  With one shard the two protocols make identical
+    decisions.
     """
 
     def __init__(self, config: ReCacheConfig | None = None, shared_budget=None) -> None:
         self.config = config or ReCacheConfig()
+        #: bytes reserved in the shared budget by the admission currently in
+        #: flight on this shard (always settled before the shard lock drops)
+        self._reservation = 0
         self.policy: EvictionPolicy = make_policy(
             self.config.eviction_policy, recompute_benefit=self.config.recompute_benefit
         )
@@ -299,6 +311,7 @@ class ReCache:
                 self.stats.admissions_skipped += 1
                 return None
             self._install(entry)
+            self._settle_reservation()
             self.stats.admissions_eager += 1
             return entry
 
@@ -331,6 +344,7 @@ class ReCache:
                 self.stats.admissions_skipped += 1
                 return None
             self._install(entry)
+            self._settle_reservation()
             self.stats.admissions_lazy += 1
             return entry
 
@@ -410,19 +424,35 @@ class ReCache:
         with self._lock:
             if not entry.is_lazy or not self._is_resident(entry):
                 return False
-            limit = self.config.cache_size_limit
             size_delta = layout.nbytes - entry.nbytes
-            if limit is not None:
-                if layout.nbytes > limit:
+            if self._pooled():
+                budget = self._shared_budget
+                if layout.nbytes > budget.limit:
                     # The eager form can never fit this budget: remember that,
                     # so reuses stop rebuilding a layout that will be rejected.
                     entry.upgrade_blocked = True
                     return False
-                self._free_overage(size_delta, exclude=entry)
-                if self._occupancy + size_delta > limit:
-                    return False
+                if size_delta > 0:
+                    deficit = budget.deficit_for(size_delta)
+                    # Local eviction only if this shard (minus the upgrading
+                    # entry) can cover the deficit; see _make_room_pooled.
+                    if 0 < deficit <= self._occupancy - entry.nbytes:
+                        self._evict_until_available(deficit, exclude=entry)
+                    if not budget.try_reserve(size_delta):
+                        return False
+                    self._reservation = size_delta
+            else:
+                limit = self.config.cache_size_limit
+                if limit is not None:
+                    if layout.nbytes > limit:
+                        entry.upgrade_blocked = True
+                        return False
+                    self._free_overage(size_delta, exclude=entry)
+                    if self._occupancy + size_delta > limit:
+                        return False
             entry.upgrade_to_eager(layout, caching_time)
             self._adjust_occupancy(size_delta)
+            self._settle_reservation()
             self.stats.lazy_upgrades += 1
             return True
 
@@ -440,6 +470,20 @@ class ReCache:
             self.stats.evictions += 1
             self.stats.evicted_bytes += entry.nbytes
 
+    def evict_if_resident(self, entry: CacheEntry) -> int:
+        """Evict ``entry`` if it is still resident; returns the bytes freed.
+
+        The cross-shard eviction round snapshots candidates without holding
+        any shard lock, so a chosen victim may already be gone (or replaced)
+        by the time its home shard is asked to evict it — a ghost eviction
+        must not double-count stats or corrupt the byte accounting.
+        """
+        with self._lock:
+            if not self._is_resident(entry):
+                return 0
+            self.evict_entry(entry)
+            return entry.nbytes
+
     def benefit_of(self, entry: CacheEntry) -> float:
         """The current benefit metric of a cached entry (for reporting)."""
         return benefit_metric(entry)
@@ -449,6 +493,21 @@ class ReCache:
     # ------------------------------------------------------------------
     def _is_resident(self, entry: CacheEntry) -> bool:
         return self._entries.get(entry.key.as_string()) is entry
+
+    def _pooled(self) -> bool:
+        """True when byte enforcement goes through a shared global budget."""
+        return getattr(self._shared_budget, "limit", None) is not None
+
+    def _settle_reservation(self) -> None:
+        """Return the in-flight admission's reservation after its install.
+
+        Between the occupancy adjustment and this release the shared budget
+        transiently double-counts the admitted bytes, which can only make a
+        concurrent reservation fail spuriously — never admit too much.
+        """
+        if self._reservation:
+            self._shared_budget.release(self._reservation)
+            self._reservation = 0
 
     def _adjust_occupancy(self, delta: int) -> None:
         self._occupancy += delta
@@ -470,7 +529,14 @@ class ReCache:
         self.subsumption.register(entry)
 
     def _make_room_for(self, entry: CacheEntry) -> bool:
-        """Ensure the new entry fits; returns False when it cannot fit."""
+        """Ensure the new entry fits; returns False when it cannot fit.
+
+        On success under a pooled budget, the entry's bytes are left reserved
+        in the shared budget — the caller installs the entry and settles the
+        reservation via :meth:`_settle_reservation` before the lock drops.
+        """
+        if self._pooled():
+            return self._make_room_pooled(entry)
         limit = self.config.cache_size_limit
         if limit is None:
             return True
@@ -484,6 +550,44 @@ class ReCache:
                 # The policy freed fewer bytes than requested (e.g. returned
                 # too few victims); admitting now would blow the byte budget.
                 return False
+        return True
+
+    def _make_room_pooled(self, entry: CacheEntry) -> bool:
+        """Shared-budget admission: the *global* limit is the binding one.
+
+        An entry larger than this shard's proportional share is admissible by
+        borrowing global headroom — the fragmentation a statically split
+        budget causes cannot happen.  Any global deficit left after the
+        coordinator's cross-shard round is covered from this shard's own
+        entries (its policy, its lock); the reservation makes the global
+        invariant race-free against admissions on other shards.
+        """
+        budget = self._shared_budget
+        nbytes = entry.nbytes
+        if nbytes > budget.limit:
+            # Larger than the entire global cache: never admit it.
+            return False
+        deficit = budget.deficit_for(nbytes)
+        # Evict locally only when this shard alone can cover the global
+        # deficit — flushing every resident for a reservation that would
+        # still fail destroys good entries for nothing (the coordinator's
+        # cross-shard round already ran if other shards had to contribute).
+        if 0 < deficit <= self._occupancy:
+            self._evict_until_available(deficit, exclude=entry)
+        if not budget.try_reserve(nbytes):
+            return False
+        self._reservation = nbytes
+        share = self.config.cache_size_limit
+        if share is not None and self._occupancy + nbytes > share:
+            extras = self.stats.extras
+            extras["borrowed_admissions"] = extras.get("borrowed_admissions", 0) + 1
+            # Only the newly borrowed increment: bytes of this admission that
+            # land beyond the share, not the shard's whole standing overage.
+            previous_overage = max(0, self._occupancy - share)
+            extras["borrowed_bytes"] = (
+                extras.get("borrowed_bytes", 0)
+                + self._occupancy + nbytes - share - previous_overage
+            )
         return True
 
     def _evict_until_available(self, bytes_to_free: int, exclude: CacheEntry | None = None) -> None:
@@ -520,17 +624,38 @@ class ReCache:
         if not self._is_resident(entry) or entry.layout is not old_layout:
             return None
         size_delta = converted.nbytes - entry.nbytes
-        limit = self.config.cache_size_limit
-        if limit is not None and converted.nbytes > limit:
-            # The converted layout would not fit at all; keep the old one.
-            return None
-        self._free_overage(size_delta, exclude=entry)
-        if limit is not None and self._occupancy + size_delta > limit:
-            # Eviction could not absorb the growth; keep the old layout rather
-            # than blowing the byte budget.
-            return None
+        if self._pooled():
+            budget = self._shared_budget
+            if converted.nbytes > budget.limit:
+                # The converted layout would not fit at all; keep the old one.
+                return None
+            if size_delta > 0:
+                deficit = budget.deficit_for(size_delta)
+                # A reuse-triggered switch gets no cross-shard balancing round
+                # (its size is unknown until the conversion finishes), so a
+                # global deficit larger than this shard's other residents must
+                # fail here WITHOUT evicting: flushing the whole shard for a
+                # reservation that still fails would destroy good entries.
+                if 0 < deficit <= self._occupancy - entry.nbytes:
+                    self._evict_until_available(deficit, exclude=entry)
+                if not budget.try_reserve(size_delta):
+                    # Eviction could not absorb the growth; keep the old
+                    # layout rather than blowing the byte budget.
+                    return None
+                self._reservation = size_delta
+        else:
+            limit = self.config.cache_size_limit
+            if limit is not None and converted.nbytes > limit:
+                # The converted layout would not fit at all; keep the old one.
+                return None
+            self._free_overage(size_delta, exclude=entry)
+            if limit is not None and self._occupancy + size_delta > limit:
+                # Eviction could not absorb the growth; keep the old layout
+                # rather than blowing the byte budget.
+                return None
         entry.replace_layout(converted)
         self._adjust_occupancy(size_delta)
+        self._settle_reservation()
         # Converting the cache is additional caching work: fold it into ``c`` so
         # the benefit metric keeps reflecting the true reconstruction cost.
         entry.stats.caching_time += conversion_time

@@ -109,6 +109,13 @@ class ReCacheConfig:
     #: thread pool (the concurrent serving layer's degree of parallelism).
     max_workers: int = 4
 
+    #: backpressure bound of the server's submission queue: a ``submit`` /
+    #: ``submit_batch`` call blocks while this many queries are already
+    #: pending (queued or executing).  A batch is admitted atomically once
+    #: the depth falls below the bound, so the queue may transiently exceed
+    #: it by one batch.
+    max_pending_queries: int = 256
+
     #: deterministic seed for the sampling RNG used by timers.
     seed: int = 7
 
@@ -137,6 +144,8 @@ class ReCacheConfig:
             raise ValueError("shard_count must be >= 1")
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if self.max_pending_queries < 1:
+            raise ValueError("max_pending_queries must be >= 1")
 
     def with_overrides(self, **overrides) -> "ReCacheConfig":
         """A copy of this configuration with the given fields replaced."""

@@ -62,6 +62,63 @@ def total_bytes(entries: Iterable[CacheEntry]) -> int:
     return sum(entry.nbytes for entry in entries)
 
 
+def size_aware_victims(
+    candidates: Sequence[CacheEntry], bytes_to_free: int
+) -> list[CacheEntry]:
+    """The phase-2 size-aware trim shared by all benefit-ranked evictions.
+
+    Among candidates the ranking phase already marked evictable, evict in
+    descending size order so that far fewer items are actually removed.  After
+    each eviction, if a single smaller candidate covers the remaining deficit
+    on its own, evict that one (the smallest such candidate, since the pool is
+    kept in ascending size order) and stop — the paper's final refinement step.
+    """
+    pool = sorted(candidates, key=lambda e: e.nbytes)
+    victims: list[CacheEntry] = []
+    remaining = bytes_to_free
+    while remaining > 0 and pool:
+        largest = pool.pop()  # largest remaining candidate
+        victims.append(largest)
+        remaining -= largest.nbytes
+        if remaining <= 0:
+            break
+        closer = next((e for e in pool if e.nbytes >= remaining), None)
+        if closer is not None:
+            victims.append(closer)
+            remaining -= closer.nbytes
+            break
+    return victims
+
+
+def choose_global_victims(
+    entries: Sequence[CacheEntry], bytes_to_free: int
+) -> list[CacheEntry]:
+    """Pick eviction victims across *all* shards of a sharded cache.
+
+    The cross-shard admission-balancing round cannot use the per-shard
+    Greedy-Dual ``H(p)`` values — each shard maintains its own baseline ``L``,
+    so ``H`` values from different shards are not comparable.  Instead rank
+    every resident entry by the global benefit metric ``b(p)`` alone (the
+    single-pool view of Algorithm 1), collect the lowest-benefit candidates
+    until the deficit is covered, then apply the same size-aware phase-2 trim
+    the per-shard policy uses.
+    """
+    if bytes_to_free <= 0 or not entries:
+        return []
+    ranked = sorted(entries, key=benefit_metric)
+    candidates: list[CacheEntry] = []
+    freed = 0
+    for entry in ranked:
+        if freed >= bytes_to_free:
+            break
+        candidates.append(entry)
+        freed += entry.nbytes
+    if freed < bytes_to_free:
+        # Not enough evictable data anywhere: everything goes.
+        return candidates
+    return size_aware_victims(candidates, bytes_to_free)
+
+
 class ReCacheGreedyDualPolicy(EvictionPolicy):
     """ReCache's Greedy-Dual variant with the size-aware eviction heuristic."""
 
@@ -132,22 +189,5 @@ class ReCacheGreedyDualPolicy(EvictionPolicy):
             return candidates
 
         # Phase 2: among the candidates (all of which the original algorithm
-        # would have evicted), evict in descending size order so that far fewer
-        # items are actually removed.  After each eviction, if a single smaller
-        # candidate covers the remaining deficit on its own, evict that one and
-        # stop (the paper's final refinement step).
-        pool = sorted(candidates, key=lambda e: e.nbytes)
-        victims: list[CacheEntry] = []
-        remaining = bytes_to_free
-        while remaining > 0 and pool:
-            largest = pool.pop()  # largest remaining candidate
-            victims.append(largest)
-            remaining -= largest.nbytes
-            if remaining <= 0:
-                break
-            closer = next((e for e in pool if e.nbytes >= remaining), None)
-            if closer is not None:
-                victims.append(closer)
-                remaining -= closer.nbytes
-                break
-        return victims
+        # would have evicted), apply the shared size-aware trim.
+        return size_aware_victims(candidates, bytes_to_free)

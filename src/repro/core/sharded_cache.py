@@ -7,11 +7,18 @@ policy instance (including Greedy-Dual baseline state) and statistics, so the
 hot path — an exact-match lookup followed by a cache scan — touches exactly one
 shard lock and scales with cores instead of serializing on a single mutex.
 
-Byte budget: the global ``cache_size_limit`` is split proportionally across
-shards (each shard enforces its share locally, which keeps the global invariant
-``total_bytes <= cache_size_limit`` without any cross-shard coordination), and
-an :class:`AtomicCounter` shared by all shards mirrors the global occupancy so
-``total_bytes`` is an O(1) read that takes no shard lock.
+Byte budget: the global ``cache_size_limit`` is one shared pool — a
+:class:`SharedBudget` tracks the global occupancy (an O(1) read that takes no
+shard lock), the hard limit and in-flight admission reservations.  Shards keep
+a *nominal* proportional share (``shard_limits``) for accounting, but the
+binding constraint is the global limit: a shard admitting an item larger than
+its share simply *borrows* global headroom (counted in
+``stats.extras["borrowed_admissions"]``), and when no single shard can free
+enough space a cross-shard eviction round picks victims across all shards by
+the global benefit metric (:func:`repro.core.eviction.choose_global_victims`).
+This restores the paper's single-pool Greedy-Dual semantics (Section 5.1,
+Algorithm 1): the static split's fragmentation — an item larger than one
+shard's share rejected while the cache is mostly empty — cannot happen.
 
 What is and is not atomic:
 
@@ -44,7 +51,7 @@ from repro.core.benefit import benefit_metric
 from repro.core.cache_entry import CacheEntry, CacheKey, LayoutObservation
 from repro.core.cache_manager import CacheManagerStats, CacheMatch, ReCache
 from repro.core.config import ReCacheConfig
-from repro.core.eviction import EvictionPolicy
+from repro.core.eviction import EvictionPolicy, choose_global_victims
 from repro.engine.expressions import Expression
 from repro.layouts.base import CacheLayout
 
@@ -68,11 +75,74 @@ class AtomicCounter:
         return self._value
 
 
+class SharedBudget(AtomicCounter):
+    """The single global byte budget all shards draw from.
+
+    The counter part mirrors the global occupancy (shards feed every byte
+    delta into it), and on top of that the budget carries the hard ``limit``
+    and in-flight admission *reservations*.  An admission first reserves its
+    bytes — which can only succeed while ``occupancy + reserved + nbytes``
+    stays within the limit — then installs the entry (occupancy grows) and
+    releases the reservation.  Because concurrent admissions on different
+    shards each hold a reservation while they install, the global invariant
+    ``total_bytes <= cache_size_limit`` holds at every instant without any
+    shard ever taking another shard's lock.
+
+    This is what lets a shard *borrow* headroom beyond its proportional share:
+    the binding constraint is the global limit, so an item larger than
+    ``cache_size_limit / shard_count`` is admissible whenever the cache as a
+    whole has room — exactly the fragmentation-free behaviour of the paper's
+    single-pool Greedy-Dual eviction (Section 5.1).
+    """
+
+    __slots__ = ("limit", "_reserved")
+
+    def __init__(self, limit: int | None = None, initial: int = 0) -> None:
+        super().__init__(initial)
+        #: the global ``cache_size_limit`` (None = unlimited)
+        self.limit = limit
+        self._reserved = 0
+
+    def headroom(self) -> int | None:
+        """Unreserved bytes left under the limit (None when unlimited)."""
+        if self.limit is None:
+            return None
+        with self._lock:
+            return self.limit - self._value - self._reserved
+
+    def deficit_for(self, nbytes: int) -> int:
+        """Bytes that must be freed before ``nbytes`` can be reserved."""
+        if self.limit is None:
+            return 0
+        with self._lock:
+            return max(0, self._value + self._reserved + nbytes - self.limit)
+
+    def try_reserve(self, nbytes: int) -> bool:
+        """Reserve headroom for an admission; False when it would not fit."""
+        with self._lock:
+            if self.limit is not None and self._value + self._reserved + nbytes > self.limit:
+                return False
+            self._reserved += nbytes
+            return True
+
+    def release(self, nbytes: int) -> None:
+        """Return a reservation (after install, or an abandoned admission)."""
+        with self._lock:
+            self._reserved -= nbytes
+
+    @property
+    def reserved(self) -> int:
+        return self._reserved
+
+
 def shard_limits(limit: int | None, shard_count: int) -> list[int | None]:
-    """Split a global byte budget into proportional per-shard limits.
+    """Split a global byte budget into proportional per-shard shares.
 
     The remainder bytes of an uneven division go to the first shards, so the
-    shares always sum to exactly ``limit``.
+    shares always sum to exactly ``limit``.  Since the shared-budget protocol
+    these are *nominal* shares: enforcement is global (see
+    :class:`SharedBudget`), and a shard occupying more than its share is
+    simply counted as borrowing.
     """
     if limit is None:
         return [None] * shard_count
@@ -89,14 +159,21 @@ class ShardedReCache:
         if count < 1:
             raise ValueError("shard_count must be >= 1")
         self.shard_count = count
-        self._budget = AtomicCounter()
+        self._budget = SharedBudget(self.config.cache_size_limit)
         limits = shard_limits(self.config.cache_size_limit, count)
         self.shards: list[ReCache] = []
         for limit in limits:
+            # Each shard keeps its proportional share in its config (for
+            # introspection and borrow accounting), but byte enforcement goes
+            # through the shared budget: the global limit is the binding one.
             shard_config = self.config.with_overrides(cache_size_limit=limit)
             self.shards.append(ReCache(shard_config, shared_budget=self._budget))
         self._sequence = 0
         self._sequence_lock = threading.Lock()
+        # Cross-shard admission-balancing counters (surfaced via stats.extras).
+        self._balance_lock = threading.Lock()
+        self._cross_shard_rounds = 0
+        self._cross_shard_evicted_bytes = 0
         # Lookup counters live on the wrapper: a subsumption probe spans
         # shards, so no single shard could account for it consistently.
         self._lookup_lock = threading.Lock()
@@ -161,6 +238,11 @@ class ShardedReCache:
     def total_bytes(self) -> int:
         return self._budget.value
 
+    @property
+    def budget(self) -> SharedBudget:
+        """The shared global byte budget all shards draw from."""
+        return self._budget
+
     def has_live_entries(self, source: str) -> bool:
         return any(shard.has_live_entries(source) for shard in self.shards)
 
@@ -181,6 +263,15 @@ class ShardedReCache:
             merged.exact_hits += self._exact_hits
             merged.subsumption_hits += self._subsumption_hits
             merged.misses += self._misses
+        with self._balance_lock:
+            if self._cross_shard_rounds:
+                merged.extras["cross_shard_rounds"] = (
+                    merged.extras.get("cross_shard_rounds", 0) + self._cross_shard_rounds
+                )
+                merged.extras["cross_shard_evicted_bytes"] = (
+                    merged.extras.get("cross_shard_evicted_bytes", 0)
+                    + self._cross_shard_evicted_bytes
+                )
         return merged
 
     @property
@@ -240,6 +331,59 @@ class ShardedReCache:
                 self._misses += 1
 
     # ------------------------------------------------------------------
+    # Cross-shard admission balancing
+    # ------------------------------------------------------------------
+    def _balance_for(self, nbytes: int, home: ReCache, exclude: CacheEntry | None = None) -> None:
+        """Free global headroom for an admission of ``nbytes``, if needed.
+
+        Runs *before* the admission is routed to its home shard, while this
+        thread holds no shard lock: the cross-shard eviction round takes one
+        shard lock at a time (snapshot, then per-victim eviction), so two
+        concurrent over-share admissions on different shards can never
+        deadlock.  The round only fires when the home shard cannot cover the
+        deficit from its own entries — the common full-cache admission keeps
+        the cheap local path (home policy, home lock), and the global round
+        is reserved for the case no single shard can absorb (the over-share
+        item the static split used to reject).  Items larger than the whole
+        budget are left for the home shard to reject; ``exclude`` (a lazy
+        entry being upgraded in place) is never chosen as a victim.
+        """
+        if nbytes <= 0:
+            return
+        limit = self._budget.limit
+        if limit is not None and nbytes > limit:
+            return
+        deficit = self._budget.deficit_for(nbytes)
+        if deficit <= 0:
+            return
+        locally_evictable = home.total_bytes - (exclude.nbytes if exclude is not None else 0)
+        if deficit > locally_evictable:
+            self._cross_shard_evict(deficit, exclude=exclude)
+
+    def _cross_shard_evict(self, bytes_to_free: int, exclude: CacheEntry | None = None) -> int:
+        """One cross-shard eviction round; returns the bytes actually freed.
+
+        Victims are chosen across *all* shards by the global benefit metric.
+        The candidate snapshot is taken without holding any lock, so a victim
+        may already be gone when its home shard is asked to evict it —
+        :meth:`ReCache.evict_if_resident` makes that a no-op.
+        """
+        candidates = [
+            entry
+            for shard in self.shards
+            for entry in shard.entries()
+            if entry is not exclude
+        ]
+        victims = choose_global_victims(candidates, bytes_to_free)
+        freed = 0
+        for victim in victims:
+            freed += self.shard_for(victim.key).evict_if_resident(victim)
+        with self._balance_lock:
+            self._cross_shard_rounds += 1
+            self._cross_shard_evicted_bytes += freed
+        return freed
+
+    # ------------------------------------------------------------------
     # Admission / reuse / eviction: route to the entry's home shard
     # ------------------------------------------------------------------
     def admit_eager(
@@ -252,7 +396,9 @@ class ShardedReCache:
         operator_time: float,
         caching_time: float,
     ) -> CacheEntry | None:
-        return self._home(source, predicate).admit_eager(
+        home = self._home(source, predicate)
+        self._balance_for(layout.nbytes, home)
+        return home.admit_eager(
             source, source_format, predicate, fields, layout, operator_time, caching_time
         )
 
@@ -266,7 +412,9 @@ class ShardedReCache:
         operator_time: float,
         caching_time: float,
     ) -> CacheEntry | None:
-        return self._home(source, predicate).admit_lazy(
+        home = self._home(source, predicate)
+        self._balance_for(8 * len(offsets), home)  # mirrors CacheEntry.nbytes for lazy mode
+        return home.admit_lazy(
             source, source_format, predicate, fields, offsets, operator_time, caching_time
         )
 
@@ -290,7 +438,9 @@ class ShardedReCache:
         )
 
     def upgrade_lazy(self, entry: CacheEntry, layout: CacheLayout, caching_time: float) -> bool:
-        return self.shard_for(entry.key).upgrade_lazy(entry, layout, caching_time)
+        home = self.shard_for(entry.key)
+        self._balance_for(layout.nbytes - entry.nbytes, home, exclude=entry)
+        return home.upgrade_lazy(entry, layout, caching_time)
 
     def evict_entry(self, entry: CacheEntry) -> None:
         self.shard_for(entry.key).evict_entry(entry)

@@ -85,6 +85,14 @@ class QueryReport:
     layout_switches: int = 0
     lazy_upgrades: int = 0
     admissions: dict = field(default_factory=lambda: {"eager": 0, "lazy": 0})
+    #: time spent between submission to the serving tier and execution start
+    #: (backpressure blocking plus queue residency); 0 outside a server
+    queue_wait_time: float = 0.0
+    #: the server's pending-query depth observed when this query was enqueued
+    queue_depth: int = 0
+    #: 1 when this request was served from another identical request's
+    #: execution in the same submission batch (no engine work of its own)
+    coalesced: int = 0
     label: str = ""
 
     @property
@@ -111,6 +119,9 @@ class QueryReport:
             "misses": self.misses,
             "caching_overhead": self.caching_overhead,
             "layout_switches": self.layout_switches,
+            "queue_wait_time": self.queue_wait_time,
+            "queue_depth": self.queue_depth,
+            "coalesced": self.coalesced,
         }
 
 

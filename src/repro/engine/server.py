@@ -8,19 +8,46 @@
 between threads — while lookups, admissions and evictions synchronize inside
 the cache manager (per shard, see :mod:`repro.core.sharded_cache`).
 
+Two submission paths:
+
+* :meth:`EngineServer.submit` — one query, one future, one pool task (the
+  classic per-request path);
+* :meth:`EngineServer.submit_batch` / :meth:`EngineServer.serve_all` — many
+  queries at once.  The batch is *coalesced* (identical queries execute once;
+  the duplicates' futures resolve with a lightweight copy marked
+  ``coalesced=1``) and then *grouped* by data source and predicate overlap:
+  each overlap group runs as one pool task via
+  :meth:`~repro.engine.session.QueryEngine.execute_group`, widest predicate
+  first, so one shard-lock acquisition and one scan feed several requests and
+  the narrower queries in the group are served from the cache the first one
+  warmed.  Per-query futures resolve as results complete, not when the whole
+  batch finishes.
+
+Backpressure: the server admits at most ``max_pending_queries`` queries into
+its queue; further ``submit``/``submit_batch`` calls block until workers drain
+the backlog (a batch is admitted atomically once the depth falls below the
+bound).  Every report carries ``queue_wait_time`` (blocking plus queue
+residency) and ``queue_depth`` (the backlog observed at enqueue), which
+:func:`merge_reports` aggregates for a serving window.
+
 :func:`merge_reports` folds the per-query reports of a serving window into one
 aggregate ``QueryReport`` (summed counters and times, results dropped), which
-is what the multi-client workload driver and the throughput bench consume.
+is what the multi-client workload driver and the throughput benches consume.
 """
 
 from __future__ import annotations
 
+import math
+import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.core.config import ReCacheConfig
 from repro.engine.executor import QueryReport
+from repro.engine.expressions import RangePredicate
 from repro.engine.query import Query
 from repro.engine.session import QueryEngine
 from repro.engine.types import RecordType
@@ -32,7 +59,10 @@ def merge_reports(reports: Iterable[QueryReport], label: str = "aggregate") -> Q
 
     Counters and times are summed; the per-query result rows are intentionally
     dropped (an aggregate over many queries has no meaningful row set) and
-    ``rows_returned`` becomes the total row count served.
+    ``rows_returned`` becomes the total row count served.  Admission counters
+    are carried over key by key — *every* key, not a hardcoded subset — and
+    the serving-tier counters aggregate as total wait time, total coalesced
+    requests and the deepest queue observed in the window.
     """
     merged = QueryReport(label=label)
     for report in reports:
@@ -47,9 +77,113 @@ def merge_reports(reports: Iterable[QueryReport], label: str = "aggregate") -> Q
         merged.misses += report.misses
         merged.layout_switches += report.layout_switches
         merged.lazy_upgrades += report.lazy_upgrades
-        merged.admissions["eager"] += report.admissions.get("eager", 0)
-        merged.admissions["lazy"] += report.admissions.get("lazy", 0)
+        merged.queue_wait_time += report.queue_wait_time
+        merged.coalesced += report.coalesced
+        if report.queue_depth > merged.queue_depth:
+            merged.queue_depth = report.queue_depth
+        for kind, count in report.admissions.items():
+            merged.admissions[kind] = merged.admissions.get(kind, 0) + count
     return merged
+
+
+# ---------------------------------------------------------------------------
+# Batched submission plumbing
+# ---------------------------------------------------------------------------
+@dataclass
+class _Submission:
+    """One client request: a query plus the future its report resolves."""
+
+    query: Query
+    future: "Future[QueryReport]"
+    enqueued_at: float
+    queue_depth: int
+
+
+@dataclass
+class _Execution:
+    """One engine execution serving one or more coalesced submissions."""
+
+    query: Query
+    submissions: list[_Submission] = field(default_factory=list)
+
+
+def _coalesce(submissions: Sequence[_Submission]) -> list[_Execution]:
+    """Collapse identical queries in a batch into single executions.
+
+    The first submission of each distinct query signature becomes the primary
+    (its report is the real execution report); later duplicates ride along and
+    resolve with a coalesced copy.
+    """
+    by_signature: dict[str, _Execution] = {}
+    executions: list[_Execution] = []
+    for submission in submissions:
+        signature = submission.query.signature()
+        execution = by_signature.get(signature)
+        if execution is None:
+            execution = _Execution(query=submission.query)
+            by_signature[signature] = execution
+            executions.append(execution)
+        execution.submissions.append(submission)
+    return executions
+
+
+def _interval_of(query: Query) -> tuple[str, float, float] | None:
+    """The (field, low, high) scan interval of a single-table range query.
+
+    ``None`` marks queries the overlap grouping cannot reason about
+    (multi-table joins, non-range predicates) — they each form their own
+    group and keep full pool parallelism.
+    """
+    if len(query.tables) != 1:
+        return None
+    predicate = query.tables[0].predicate
+    if predicate is None:
+        return ("*", -math.inf, math.inf)
+    if isinstance(predicate, RangePredicate):
+        return (predicate.field, predicate.low, predicate.high)
+    return None
+
+
+def group_batch(executions: Sequence[_Execution]) -> list[list[_Execution]]:
+    """Group a batch's executions by data source and predicate overlap.
+
+    Single-table range queries over the same (source, field) whose intervals
+    form an overlap-connected chain share one group — one worker executes them
+    widest-first, so the head query warms the cache and the rest reuse it
+    (exact or subsumption hits) without re-queuing.  Everything else runs as
+    its own group so disjoint work keeps the whole pool busy.
+    """
+    groups: list[list[_Execution]] = []
+    clusters: dict[tuple[str, str], list[tuple[float, float, _Execution]]] = {}
+    for execution in executions:
+        interval = _interval_of(execution.query)
+        if interval is None:
+            groups.append([execution])
+            continue
+        field_name, low, high = interval
+        key = (execution.query.tables[0].source, field_name)
+        clusters.setdefault(key, []).append((low, high, execution))
+    for spans in clusters.values():
+        spans.sort(key=lambda item: item[0])
+        current: list[tuple[float, float, _Execution]] = []
+        current_high = -math.inf
+        for low, high, execution in spans:
+            if current and low > current_high:
+                groups.append(_order_for_cache_reuse(current))
+                current = []
+                current_high = -math.inf
+            current.append((low, high, execution))
+            current_high = max(current_high, high)
+        if current:
+            groups.append(_order_for_cache_reuse(current))
+    return groups
+
+
+def _order_for_cache_reuse(
+    spans: Sequence[tuple[float, float, _Execution]]
+) -> list[_Execution]:
+    """Widest interval first (most likely to subsume the rest), stable ties."""
+    return [item[2] for item in sorted(spans, key=lambda item: -(item[1] - item[0]))]
 
 
 class EngineServer:
@@ -66,6 +200,7 @@ class EngineServer:
         config: ReCacheConfig | None = None,
         max_workers: int | None = None,
         response_hook: Callable[[QueryReport], None] | None = None,
+        max_pending: int | None = None,
     ) -> None:
         if engine is None:
             engine = QueryEngine(config)
@@ -75,15 +210,32 @@ class EngineServer:
         self.max_workers = max_workers if max_workers is not None else engine.config.max_workers
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        self.max_pending = (
+            max_pending if max_pending is not None else engine.config.max_pending_queries
+        )
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
         #: called in the worker thread after each execution, before the future
         #: resolves — the place where a network server would serialize the
         #: result and write it to the client's socket.  The throughput bench
-        #: uses it to model that per-request delivery latency.
+        #: uses it to model that per-request delivery latency.  Coalesced
+        #: duplicates get a delivery call of their own.
         self.response_hook = response_hook
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="recache-serve"
         )
+        # One lock guards the lifecycle flag AND the pending-queue accounting:
+        # a submit racing a shutdown either fully enqueues (and the closing
+        # pool drains it) or observes ``_closed`` and raises — never a query
+        # half-queued into a closing pool.
+        self._lifecycle = threading.Lock()
+        self._backpressure = threading.Condition(self._lifecycle)
         self._closed = False
+        self._pending = 0
+        #: deepest pending backlog observed since construction
+        self.peak_queue_depth = 0
+        #: requests served from another request's execution (lifetime total)
+        self.coalesced_served = 0
 
     # ------------------------------------------------------------------
     # Data source registration (delegates; do this before serving)
@@ -100,27 +252,149 @@ class EngineServer:
     # Serving
     # ------------------------------------------------------------------
     def submit(self, query: Query, *, vectorized: bool | None = None) -> "Future[QueryReport]":
-        """Queue a query for execution; returns a future for its report.
+        """Queue one query for execution; returns a future for its report.
 
         ``vectorized`` optionally overrides the engine's execution pipeline
-        (batched vs interpreted) for this request only.
+        (batched vs interpreted) for this request only.  Blocks while the
+        pending queue is at ``max_pending``.
         """
-        if self._closed:
-            raise RuntimeError("EngineServer is shut down")
-        return self._pool.submit(self._serve, query, vectorized)
+        return self.submit_batch([query], vectorized=vectorized)[0]
 
-    def _serve(self, query: Query, vectorized: bool | None = None) -> QueryReport:
-        report = self.engine.execute(query, vectorized=vectorized)
-        if self.response_hook is not None:
-            self.response_hook(report)
-        return report
+    def submit_batch(
+        self, queries: Sequence[Query], *, vectorized: bool | None = None
+    ) -> "list[Future[QueryReport]]":
+        """Queue a batch of queries; returns one future per query, in order.
+
+        The batch is coalesced and grouped by source/predicate overlap before
+        hitting the worker pool (see the module docstring); futures resolve
+        individually as their results complete.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        enqueued_at = time.perf_counter()
+        with self._backpressure:
+            if self._closed:
+                raise RuntimeError("EngineServer is shut down")
+            while self._pending >= self.max_pending:
+                self._backpressure.wait()
+                if self._closed:
+                    raise RuntimeError("EngineServer is shut down")
+            depth = self._pending
+            self._pending += len(queries)
+            if self._pending > self.peak_queue_depth:
+                self.peak_queue_depth = self._pending
+            submissions = [
+                _Submission(query, Future(), enqueued_at, depth) for query in queries
+            ]
+            for group in group_batch(_coalesce(submissions)):
+                # Submitted under the lifecycle lock: a concurrent shutdown
+                # cannot close the pool between the ``_closed`` check above
+                # and this enqueue.
+                self._pool.submit(self._serve_group, group, vectorized)
+        return [submission.future for submission in submissions]
+
+    def serve_all(
+        self, queries: Sequence[Query], *, vectorized: bool | None = None
+    ) -> list[QueryReport]:
+        """Submit a batch and wait for every report (submission order)."""
+        futures = self.submit_batch(queries, vectorized=vectorized)
+        return [future.result() for future in futures]
+
+    def _serve_group(self, group: Sequence[_Execution], vectorized: bool | None) -> None:
+        """Worker entry point: run one cache-affine group through the session.
+
+        :meth:`QueryEngine.execute_group` executes the queries back to back on
+        this worker; the callbacks resolve each execution's futures the moment
+        its result (or failure) is known, so clients never wait for the whole
+        group.  ``execute_group`` preserves query order, which is what lets
+        the callbacks walk the executions with a plain iterator.
+        """
+        executions = iter(group)
+        execution_started = [time.perf_counter()]
+
+        def resolve(query: Query, report: QueryReport) -> None:
+            self._resolve_execution(next(executions), report, execution_started[0])
+            execution_started[0] = time.perf_counter()
+
+        def fail(query: Query, exc: Exception) -> None:
+            execution = next(executions)
+            for submission in execution.submissions:
+                submission.future.set_exception(exc)
+            self._settle(len(execution.submissions), 0)
+            execution_started[0] = time.perf_counter()
+
+        self.engine.execute_group(
+            [execution.query for execution in group],
+            vectorized=vectorized,
+            on_report=resolve,
+            on_error=fail,
+        )
+
+    def _resolve_execution(
+        self, execution: _Execution, report: QueryReport, started: float
+    ) -> None:
+        primary = execution.submissions[0]
+        coalesced = 0
+        # Every submission MUST leave this method with its future resolved and
+        # its pending slot returned — a raising response_hook (or any delivery
+        # bug) would otherwise hang clients and leak backpressure capacity.
+        try:
+            report.queue_wait_time = started - primary.enqueued_at
+            report.queue_depth = primary.queue_depth
+            if self.response_hook is not None:
+                self.response_hook(report)
+            primary.future.set_result(report)
+            resolved_at = time.perf_counter()
+            for submission in execution.submissions[1:]:
+                copy = self._coalesced_report(report, submission, resolved_at)
+                if self.response_hook is not None:
+                    self.response_hook(copy)
+                submission.future.set_result(copy)
+                coalesced += 1
+        except BaseException as exc:
+            for submission in execution.submissions:
+                if not submission.future.done():
+                    submission.future.set_exception(exc)
+        finally:
+            self._settle(len(execution.submissions), coalesced)
+
+    @staticmethod
+    def _coalesced_report(
+        report: QueryReport, submission: _Submission, resolved_at: float
+    ) -> QueryReport:
+        """The report of a request served from another request's execution.
+
+        Carries the shared result rows but none of the execution counters —
+        the engine did no work for this request — so a merged serving window
+        still reflects actual cache traffic, with ``coalesced`` counting the
+        piggybacked requests.
+        """
+        copy = QueryReport(label=report.label)
+        copy.results = report.results
+        copy.rows_returned = report.rows_returned
+        copy.queue_wait_time = resolved_at - submission.enqueued_at
+        copy.queue_depth = submission.queue_depth
+        copy.coalesced = 1
+        return copy
+
+    def _settle(self, count: int, coalesced: int) -> None:
+        with self._backpressure:
+            self._pending -= count
+            self.coalesced_served += coalesced
+            self._backpressure.notify_all()
 
     def execute(self, query: Query) -> QueryReport:
         """Execute one query through the pool and wait for its report."""
         return self.submit(query).result()
 
     def execute_many(self, queries: Sequence[Query]) -> list[QueryReport]:
-        """Execute queries concurrently; reports come back in submission order."""
+        """Execute queries as independent requests; reports in submission order.
+
+        Unlike :meth:`serve_all` this performs no coalescing or grouping —
+        every query is its own pool task (the per-request baseline the async
+        submission bench compares against).
+        """
         futures = [self.submit(query) for query in queries]
         return [future.result() for future in futures]
 
@@ -138,8 +412,17 @@ class EngineServer:
     def cached_bytes(self) -> int:
         return self.engine.cached_bytes()
 
+    @property
+    def queue_depth(self) -> int:
+        """Queries currently pending (queued or executing)."""
+        return self._pending
+
     def shutdown(self, wait: bool = True) -> None:
-        self._closed = True
+        with self._backpressure:
+            self._closed = True
+            # Wake submitters blocked on backpressure so they observe the
+            # closed flag and raise instead of waiting forever.
+            self._backpressure.notify_all()
         self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "EngineServer":

@@ -13,6 +13,7 @@ from __future__ import annotations
 import threading
 import time
 from pathlib import Path
+from typing import Callable, Sequence
 
 from repro.core.cache_manager import ReCache
 from repro.core.config import ReCacheConfig
@@ -104,6 +105,42 @@ class QueryEngine:
         with self._count_lock:
             self.query_count += 1
         return report
+
+    def execute_group(
+        self,
+        queries: Sequence[Query],
+        *,
+        vectorized: bool | None = None,
+        on_report: Callable[[Query, QueryReport], None] | None = None,
+        on_error: Callable[[Query, Exception], None] | None = None,
+    ) -> list["QueryReport | None"]:
+        """Execute a cache-affine group of queries back to back on this thread.
+
+        The server's batched submission path routes each group here: the group
+        shares one worker, so the first query of an overlapping group warms the
+        cache and the rest are served from it in the same pass — one shard-lock
+        acquisition and one raw scan feeding several requests instead of N
+        independently queued executions.  ``on_report`` is invoked after each
+        query completes (the server uses it to resolve that query's future
+        immediately rather than when the whole group finishes).  A failing
+        query is isolated when ``on_error`` is given: the exception goes to the
+        callback, its report slot is ``None``, and the rest of the group still
+        executes; without the callback the exception propagates.
+        """
+        reports: list[QueryReport | None] = []
+        for query in queries:
+            try:
+                report = self.execute(query, vectorized=vectorized)
+            except Exception as exc:
+                if on_error is None:
+                    raise
+                on_error(query, exc)
+                reports.append(None)
+                continue
+            if on_report is not None:
+                on_report(query, report)
+            reports.append(report)
+        return reports
 
     # ------------------------------------------------------------------
     # Introspection

@@ -10,7 +10,10 @@ to isolate cache *performance* from cache *construction* (Figures 1 and 9).
 :class:`ConcurrentWorkloadRunner` is the multi-client variant: N closed-loop
 clients, each with its own deterministic RNG stream, draw queries from a shared
 pool with zipfian rank skew and issue them through an
-:class:`~repro.engine.server.EngineServer` against one shared cache.
+:class:`~repro.engine.server.EngineServer` against one shared cache — either
+one request at a time (:meth:`~ConcurrentWorkloadRunner.run`) or a batch per
+round through the server's coalescing ``submit_batch`` path
+(:meth:`~ConcurrentWorkloadRunner.run_batched`).
 """
 
 from __future__ import annotations
@@ -154,6 +157,9 @@ def _measurement(index: int, query: Query, report: QueryReport) -> dict:
         "misses": report.misses,
         "layout_switches": report.layout_switches,
         "rows_returned": report.rows_returned,
+        "queue_wait_time": report.queue_wait_time,
+        "queue_depth": report.queue_depth,
+        "coalesced": report.coalesced,
     }
 
 
@@ -184,7 +190,7 @@ class ConcurrentWorkloadResult:
         return sum(result.cache_hits for result in self.per_client)
 
     def summary(self) -> dict:
-        return {
+        summary = {
             "label": self.label,
             "clients": self.client_count,
             "queries": self.total_queries,
@@ -192,6 +198,14 @@ class ConcurrentWorkloadResult:
             "queries_per_second": self.queries_per_second,
             "cache_hits": self.cache_hits,
         }
+        if self.aggregate is not None:
+            summary["coalesced"] = self.aggregate.coalesced
+            summary["queue_wait_time"] = self.aggregate.queue_wait_time
+            # Deepest backlog observed *at enqueue time* — the true peak
+            # (which includes each batch's own size) is the server's
+            # ``peak_queue_depth``.
+            summary["max_enqueue_depth"] = self.aggregate.queue_depth
+        return summary
 
 
 class ConcurrentWorkloadRunner:
@@ -244,6 +258,57 @@ class ConcurrentWorkloadRunner:
                     time.sleep(think_time)
             return result, reports
 
+        return self._drive(run_client, label)
+
+    def run_batched(
+        self,
+        pool: list[Query],
+        label: str = "batched",
+        queries_per_client: int | None = None,
+        batch_size: int = 16,
+        zipf_s: float = 1.1,
+        think_time: float = 0.0,
+    ) -> ConcurrentWorkloadResult:
+        """The batched-submission variant of :meth:`run`.
+
+        Each client draws ``batch_size`` queries per round from the same
+        zipfian stream and submits them together via
+        :meth:`~repro.engine.server.EngineServer.submit_batch`, waiting for
+        the whole round before drawing the next.  A fixed (seed, clients,
+        queries_per_client) draws exactly the same query sequence as
+        :meth:`run`, so the two modes are directly comparable — the batched
+        path just lets the server coalesce duplicate draws and share scans
+        across overlapping ones.
+        """
+        if not pool:
+            raise ValueError("query pool must not be empty")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        per_client = queries_per_client or max(1, len(pool) // self.clients)
+        sampler = ZipfianSampler(len(pool), zipf_s)
+        base_rng = make_rng(self.seed)
+        client_rngs = [spawn(base_rng, f"client-{index}") for index in range(self.clients)]
+
+        def run_client(index: int) -> tuple[WorkloadResult, list[QueryReport]]:
+            rng = client_rngs[index]
+            result = WorkloadResult(label=f"{label}-client{index}")
+            reports: list[QueryReport] = []
+            step = 0
+            while step < per_client:
+                round_size = min(batch_size, per_client - step)
+                batch = [pool[sampler.sample(rng)] for _ in range(round_size)]
+                for offset, report in enumerate(self.server.serve_all(batch)):
+                    result.per_query.append(_measurement(step + offset, batch[offset], report))
+                    reports.append(report)
+                step += round_size
+                if think_time > 0.0:
+                    time.sleep(think_time)
+            return result, reports
+
+        return self._drive(run_client, label)
+
+    def _drive(self, run_client, label: str) -> ConcurrentWorkloadResult:
+        """Run one closed-loop client function per client thread and merge."""
         started = time.perf_counter()
         with ThreadPoolExecutor(
             max_workers=self.clients, thread_name_prefix="recache-client"

@@ -1,0 +1,267 @@
+"""Tests for the shared-budget protocol: borrowing, cross-shard eviction.
+
+Covers the fragmentation fix: with the static per-shard split, an item larger
+than ``cache_size_limit / shard_count`` could never be admitted even into a
+mostly-empty cache; the shared budget admits it by borrowing global headroom,
+and a cross-shard eviction round (global benefit metric) frees space when no
+single shard can.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from hypothesis import given, strategies as st
+
+from repro.core.cache_manager import ReCache
+from repro.core.config import ReCacheConfig
+from repro.core.sharded_cache import SharedBudget, ShardedReCache, shard_limits
+from repro.engine.expressions import RangePredicate
+from repro.engine.types import FLOAT, INT, Field, RecordType
+from repro.layouts import build_layout
+
+SCHEMA = RecordType([Field("id", INT), Field("value", FLOAT)])
+
+
+def _layout(rows: int):
+    data = [{"id": i, "value": float(i)} for i in range(rows)]
+    return build_layout("columnar", SCHEMA, ["id", "value"], rows=data)
+
+
+def _admit(cache, index: int, layout, operator_time: float = 0.5) -> object:
+    return cache.admit_eager(
+        "s",
+        "csv",
+        RangePredicate("value", float(index), float(index) + 0.5),
+        ["id", "value"],
+        layout,
+        operator_time=operator_time,
+        caching_time=0.01,
+    )
+
+
+# ---------------------------------------------------------------------------
+# shard_limits rounding (property-style, satellite)
+# ---------------------------------------------------------------------------
+@given(st.integers(min_value=1, max_value=10**9), st.integers(min_value=1, max_value=64))
+def test_shard_limits_always_sum_to_global_limit(limit, shard_count):
+    limits = shard_limits(limit, shard_count)
+    assert len(limits) == shard_count
+    assert sum(limits) == limit  # remainder distributed, never truncated
+    assert max(limits) - min(limits) <= 1
+    assert all(share >= 0 for share in limits)
+
+
+def test_shard_limits_none_means_unlimited_everywhere():
+    assert shard_limits(None, 5) == [None] * 5
+
+
+# ---------------------------------------------------------------------------
+# SharedBudget reservations
+# ---------------------------------------------------------------------------
+def test_shared_budget_reserve_commit_release_cycle():
+    budget = SharedBudget(limit=100)
+    assert budget.headroom() == 100
+    assert budget.try_reserve(60)
+    assert budget.headroom() == 40
+    assert not budget.try_reserve(50)  # would exceed with the reservation held
+    budget.add(60)  # install
+    budget.release(60)
+    assert budget.value == 60
+    assert budget.headroom() == 40
+    assert budget.deficit_for(50) == 10
+    assert budget.deficit_for(40) == 0
+
+
+def test_shared_budget_unlimited_never_blocks():
+    budget = SharedBudget(limit=None)
+    assert budget.headroom() is None
+    assert budget.deficit_for(10**12) == 0
+    assert budget.try_reserve(10**12)
+
+
+# ---------------------------------------------------------------------------
+# Borrowing: over-share admissions into a mostly-empty cache
+# ---------------------------------------------------------------------------
+def test_entry_larger_than_shard_share_is_admitted_by_borrowing():
+    big = _layout(300)
+    limit = int(big.nbytes * 1.5)
+    cache = ShardedReCache(ReCacheConfig(cache_size_limit=limit), shard_count=4)
+    share = shard_limits(limit, 4)[0]
+    assert big.nbytes > share, "scenario requires an over-share item"
+    assert big.nbytes <= limit
+
+    entry = _admit(cache, 0, big)
+    assert entry is not None, "over-share item must be admitted via borrowing"
+    assert cache.total_bytes == big.nbytes <= limit
+    assert cache.stats.extras.get("borrowed_admissions", 0) >= 1
+    assert cache.stats.admissions_skipped == 0
+
+
+def test_borrowed_bytes_counts_only_each_admissions_increment():
+    """``borrowed_bytes`` must total the shard's overage, not recount it."""
+    budget = SharedBudget(limit=1000)
+    shard = ReCache(ReCacheConfig(cache_size_limit=100), shared_budget=budget)
+    for i in range(3):  # lazy entries have exact sizes: 8 bytes per offset
+        entry = shard.admit_lazy(
+            "s", "csv", RangePredicate("value", float(i), float(i) + 0.5),
+            ["id", "value"], offsets=list(range(10)),
+            operator_time=0.1, caching_time=0.01,
+        )
+        assert entry is not None
+    # Occupancy 240 vs share 100: 60 borrowed by the second admission (which
+    # crossed the share), 80 by the third — never the standing overage again.
+    extras = shard.stats.extras
+    assert extras["borrowed_admissions"] == 2
+    assert extras["borrowed_bytes"] == 140 == shard.total_bytes - 100
+
+
+def test_entry_larger_than_global_limit_is_still_rejected():
+    big = _layout(300)
+    cache = ShardedReCache(
+        ReCacheConfig(cache_size_limit=big.nbytes - 1), shard_count=4
+    )
+    assert _admit(cache, 0, big) is None
+    assert cache.total_bytes == 0
+    assert cache.stats.admissions_skipped == 1
+
+
+def test_single_shard_pooled_budget_keeps_local_semantics():
+    """shard_count=1: the pooled protocol must reject exactly like plain ReCache."""
+    layout = _layout(40)
+    limit = layout.nbytes + 10
+    pooled = ShardedReCache(ReCacheConfig(cache_size_limit=limit), shard_count=1)
+    plain = ReCache(ReCacheConfig(cache_size_limit=limit))
+    for cache in (pooled, plain):
+        assert _admit(cache, 0, _layout(40)) is not None
+        assert _admit(cache, 1, _layout(40), operator_time=5.0) is not None  # evicts first
+        assert len(cache.entries()) == 1
+        assert cache.total_bytes <= limit
+
+
+# ---------------------------------------------------------------------------
+# Cross-shard eviction round
+# ---------------------------------------------------------------------------
+def test_cross_shard_round_evicts_lowest_global_benefit_victims():
+    small = _layout(30)
+    limit = small.nbytes * 6
+    cache = ShardedReCache(ReCacheConfig(cache_size_limit=limit), shard_count=4)
+
+    # Fill the cache: half low-benefit (cheap to rebuild), half high-benefit.
+    for i in range(3):
+        assert _admit(cache, i, _layout(30), operator_time=0.001) is not None
+    for i in range(3, 6):
+        assert _admit(cache, i, _layout(30), operator_time=50.0) is not None
+    assert cache.total_bytes == limit
+
+    # A big admission that no single shard could absorb: needs a cross-shard
+    # round that frees space across shards, lowest global benefit first.
+    big = _layout(100)
+    assert big.nbytes <= limit
+    entry = _admit(cache, 99, big, operator_time=1.0)
+    assert entry is not None
+    assert cache.total_bytes <= limit
+    extras = cache.stats.extras
+    assert extras.get("cross_shard_rounds", 0) >= 1
+    assert extras.get("cross_shard_evicted_bytes", 0) > 0
+
+    survivors = {e.predicate.low for e in cache.entries() if e is not entry}
+    # Every surviving small entry must be high-benefit: the cheap-to-rebuild
+    # ones are the globally ranked victims.
+    assert survivors <= {3.0, 4.0, 5.0}
+
+
+def test_upgrade_balancing_never_evicts_the_entry_being_upgraded():
+    """The cross-shard round must exclude the lazy entry its upgrade serves.
+
+    The entry is deliberately the lowest-benefit item in the cache: without
+    the exclusion, the balancing round for its own upgrade would rank it as
+    the first victim, evicting it and discarding the built eager layout.
+    """
+    predicate = RangePredicate("value", 1000.0, 1000.5)
+    offsets = list(range(50))
+    eager = _layout(120)
+    filler = _layout(40)
+    limit = 8 * len(offsets) + filler.nbytes * 4 + eager.nbytes // 2
+    cache = ShardedReCache(ReCacheConfig(cache_size_limit=limit), shard_count=4)
+
+    entry = cache.admit_lazy(
+        "s", "csv", predicate, ["id", "value"], offsets,
+        operator_time=0.0001, caching_time=0.0001,  # lowest benefit in the cache
+    )
+    assert entry is not None
+    for i in range(4):
+        assert _admit(cache, i, _layout(40), operator_time=20.0) is not None
+
+    # The upgrade's growth cannot fit without eviction somewhere.
+    assert cache.budget.deficit_for(eager.nbytes - entry.nbytes) > 0
+    upgraded = cache.upgrade_lazy(entry, eager, caching_time=0.01)
+    assert cache.get_exact("s", predicate) is entry, "entry evicted by its own upgrade"
+    if upgraded:
+        assert not entry.is_lazy
+    assert cache.total_bytes <= limit
+    assert cache.total_bytes == sum(e.nbytes for e in cache.entries())
+
+
+def test_pooled_layout_switch_never_flushes_shard_for_an_uncoverable_deficit():
+    """A growing switch whose global deficit exceeds the shard's other
+    residents must keep the old layout WITHOUT evicting anything: flushing
+    the shard could not have made the reservation succeed anyway."""
+    budget = SharedBudget(limit=4000)
+    shard = ReCache(ReCacheConfig(cache_size_limit=2000), shared_budget=budget)
+    budget.add(3000)  # occupancy held by other shards of the pool
+
+    entry = _admit(shard, 0, _layout(20))  # 320B
+    other = _admit(shard, 1, _layout(20))
+    assert entry is not None and other is not None
+
+    grown = _layout(120)  # switch growth far beyond the 360B global headroom
+    with shard._lock:
+        installed = shard._install_switched_layout(
+            entry, entry.layout, grown, conversion_time=0.01, target="columnar"
+        )
+    assert installed is None, "switch must be declined"
+    assert shard.get_exact("s", other.predicate) is other, "resident flushed for nothing"
+    assert len(shard.entries()) == 2
+    assert budget.reserved == 0
+
+
+def test_full_cache_admissions_prefer_local_eviction():
+    """When the home shard can cover the deficit itself, no global round runs."""
+    small = _layout(30)
+    cache = ShardedReCache(
+        ReCacheConfig(cache_size_limit=small.nbytes), shard_count=4
+    )
+    # Re-admit under the SAME predicate: same home shard, which alone holds
+    # enough evictable bytes, so the cheap local path must handle it.
+    assert _admit(cache, 0, _layout(30)) is not None
+    assert _admit(cache, 0, _layout(30)) is not None
+    assert cache.stats.extras.get("cross_shard_rounds", 0) == 0
+
+
+def test_global_budget_invariant_under_concurrent_admissions():
+    small = _layout(25)
+    limit = small.nbytes * 5
+    cache = ShardedReCache(ReCacheConfig(cache_size_limit=limit), shard_count=4)
+    errors: list[Exception] = []
+
+    def client(worker: int) -> None:
+        try:
+            for step in range(25):
+                index = worker * 1000 + step
+                rows = 25 + (index % 3) * 10
+                _admit(cache, index, _layout(rows), operator_time=0.1 + step * 0.01)
+                assert cache.total_bytes <= limit, "global budget violated"
+        except Exception as exc:  # noqa: BLE001 - surfaced to the main thread
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(w,)) for w in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    assert cache.total_bytes <= limit
+    assert cache.total_bytes == sum(e.nbytes for e in cache.entries())
+    assert cache.budget.reserved == 0, "no reservation may leak"
