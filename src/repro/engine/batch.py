@@ -47,6 +47,17 @@ def numeric_column_array(values) -> np.ndarray | None:
     return np.array([np.nan if value is None else value for value in values], dtype=np.float64)
 
 
+def object_validity_mask(values) -> np.ndarray:
+    """A boolean array marking the non-``None`` positions of a value list.
+
+    This is exactly the interpreter's aggregate-input rule (``value is not
+    None``): unlike an ``isnan`` test on a float64 view, it keeps a genuine
+    NaN data value valid, so the NumPy group-by's skip-null behaviour matches
+    the row interpreter value for value.
+    """
+    return np.fromiter((value is not None for value in values), dtype=bool, count=len(values))
+
+
 def approx_record_bytes(record: dict) -> int:
     """Rough raw-data size of one parsed JSON record (admission extrapolation)."""
     total = 0

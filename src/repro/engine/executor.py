@@ -841,12 +841,18 @@ def _execute_cache_scan_batched(node: CacheScanNode, ctx: ExecutionContext) -> l
     ranges = _vectorizable_ranges(node.residual_predicate, layout, wanted)
     if ranges is not None:
         if hasattr(layout, "range_filtered_batch"):
-            # Columnar fast path: one vectorized mask over the cached column
-            # arrays, matching rows gathered straight into batch columns.
+            # Columnar/parquet fast path: one vectorized mask over the cached
+            # column arrays, matching rows gathered straight into batch
+            # columns.  Parquet's mask runs on the short per-record parent
+            # stripes, so its scan cardinality is records, not flattened rows
+            # (matching the interpreted path's accounting).
             batch = layout.range_filtered_batch(ranges, fields=wanted, dedupe_records=dedupe)
             if batch.row_count:
                 batches.append(batch)
-            scanned_rows = layout.flattened_row_count
+            if layout_name == "parquet":
+                scanned_rows = layout.record_count
+            else:
+                scanned_rows = layout.flattened_row_count
         else:
             rows = list(layout.scan_range_filtered(ranges, fields=wanted))
             if rows:
@@ -857,11 +863,12 @@ def _execute_cache_scan_batched(node: CacheScanNode, ctx: ExecutionContext) -> l
         scan_kwargs = {}
         if dedupe and layout_name in ("columnar", "row"):
             scan_kwargs["dedupe_records"] = True
-        if layout_name == "columnar" and node.residual_predicate is not None:
+        if layout_name in ("columnar", "parquet") and node.residual_predicate is not None:
             # Pre-build the layout's shared float64 views for the predicate's
             # columns so every batch mask slices one cached array instead of
             # re-converting its column lists (predicate fields are always part
-            # of the scanned fields, so the columns exist).
+            # of the scanned fields, so the columns exist; parquet only seeds
+            # views on its flat fast path, where batch rows are records).
             scan_kwargs["numeric_fields"] = sorted(
                 node.residual_predicate.referenced_fields()
             )

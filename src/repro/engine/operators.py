@@ -15,7 +15,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.engine.batch import RecordBatch, concat_batches
+from repro.engine.batch import RecordBatch, concat_batches, object_validity_mask
 from repro.engine.compiler import CompiledAggregate
 
 
@@ -207,9 +207,15 @@ def aggregate_batches(
 ) -> list[dict]:
     """Compute aggregates over a batch stream, optionally grouped.
 
-    Group states appear in first-occurrence order (matching the interpreted
-    path's dict-insertion order), and every aggregate folds its values in row
-    order so floating-point results are identical to :func:`aggregate_rows`.
+    Grouped aggregation is NumPy-backed: the key columns are factorized into
+    dense group codes (vectorized through float64 views where the keys are
+    null-free numerics, a single dict pass otherwise), rows are gathered per
+    group with one stable argsort, and each aggregate reduces contiguous
+    per-group slices.  Group rows appear in first-occurrence order (matching
+    the interpreted path's dict-insertion order) and every reduction folds
+    its values left-to-right in row order, so results — including
+    floating-point sums and value types of min/max — are identical to
+    :func:`aggregate_rows`.
     """
     if not group_by:
         for batch in batches:
@@ -217,26 +223,120 @@ def aggregate_batches(
                 aggregate.update_batch(batch)
         return [{agg.spec.output_name: agg.result() for agg in aggregates}]
 
+    merged = concat_batches(list(batches)) if batches else RecordBatch({}, 0)
+    if merged.row_count == 0:
+        return []
     keys = list(group_by)
-    groups: dict[tuple, list[CompiledAggregate]] = {}
-    for batch in batches:
-        key_columns = [batch.column(key) for key in keys]
-        value_lists = [aggregate.batch_values(batch) for aggregate in aggregates]
-        for i in range(batch.row_count):
-            group_key = tuple(column[i] for column in key_columns)
-            state = groups.get(group_key)
-            if state is None:
-                state = [CompiledAggregate(agg.spec) for agg in aggregates]
-                groups[group_key] = state
-            for aggregate, values in zip(state, value_lists):
-                value = values[i]
-                if value is not None:
-                    aggregate.update_value(value)
-
-    results = []
-    for group_key, state in groups.items():
-        row = dict(zip(keys, group_key))
-        for aggregate in state:
-            row[aggregate.spec.output_name] = aggregate.result()
-        results.append(row)
+    codes, group_keys = _factorize_keys(merged, keys)
+    results = [dict(zip(keys, key_values)) for key_values in group_keys]
+    for aggregate in aggregates:
+        values = aggregate.batch_values(merged)
+        outputs = _grouped_reduce(aggregate.spec.func, values, codes, len(group_keys))
+        name = aggregate.spec.output_name
+        for row, value in zip(results, outputs):
+            row[name] = value
     return results
+
+
+def _factorize_keys(batch: RecordBatch, keys: Sequence[str]) -> tuple[np.ndarray, list[tuple]]:
+    """Dense group codes plus the group key tuples in first-occurrence order.
+
+    Null-free numeric key columns factorize fully vectorized via their float64
+    views (float equality merges ``1``/``1.0``/``True`` exactly like the
+    interpreter's dict hashing does, and the representative key value is the
+    first-occurrence original, type preserved).  Any other key column — or a
+    packed multi-key code too wide for int64 — falls back to one dict pass
+    over the rows, which is the interpreter's own grouping rule applied once
+    per row instead of once per row *per aggregate*.
+    """
+    columns = [batch.column(key) for key in keys]
+    arrays: list[np.ndarray] | None = []
+    for key in keys:
+        array = batch.numeric_view(key)
+        # NaN (a null somewhere in the column) needs the dict pass for its
+        # key identity; so do magnitudes at or beyond 2**53, where float64
+        # can no longer represent every integer and distinct keys would
+        # silently merge.
+        if array is None or np.isnan(array).any() or np.abs(array).max() >= 2**53:
+            arrays = None
+            break
+        arrays.append(array)
+
+    if arrays is not None:
+        combined = arrays[0]
+        if len(arrays) > 1:
+            packed = None
+            for array in arrays:
+                _, inverse = np.unique(array, return_inverse=True)
+                width = int(inverse.max()) + 1
+                if packed is None:
+                    packed = inverse.astype(np.int64)
+                elif packed.max() > (2**62) // width:
+                    packed = None  # would overflow int64: take the dict path
+                    break
+                else:
+                    packed = packed * width + inverse
+            combined = packed
+        if combined is not None:
+            codes, first_rows = _first_occurrence_codes(combined)
+            group_keys = [
+                tuple(column[row] for column in columns) for row in first_rows.tolist()
+            ]
+            return codes, group_keys
+
+    ids: dict = {}
+    if len(columns) == 1:
+        codes_list = [ids.setdefault(value, len(ids)) for value in columns[0]]
+        group_keys = [(value,) for value in ids]
+    else:
+        codes_list = [ids.setdefault(row_key, len(ids)) for row_key in zip(*columns)]
+        group_keys = list(ids)
+    return np.asarray(codes_list, dtype=np.int64), group_keys
+
+
+def _first_occurrence_codes(array: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Factorize ``array`` into dense codes numbered by first occurrence.
+
+    Returns ``(codes, first_rows)`` where ``codes[i]`` is the group ordinal of
+    row ``i`` and ``first_rows[g]`` is the row index where group ``g`` first
+    appears (both in first-occurrence order, matching dict-insertion order).
+    """
+    _, first_index, inverse = np.unique(array, return_index=True, return_inverse=True)
+    order = np.argsort(first_index, kind="stable")
+    rank = np.empty(len(first_index), dtype=np.int64)
+    rank[order] = np.arange(len(first_index), dtype=np.int64)
+    return rank[inverse], first_index[order]
+
+
+def _grouped_reduce(func: str, values: list, codes: np.ndarray, n_groups: int) -> list:
+    """Reduce one aggregate's per-row values into one output value per group.
+
+    Null rows are dropped by the interpreter's exact rule (``value is not
+    None``); the surviving rows are gathered per group with a stable argsort
+    so each group's slice preserves row order, then reduced with the
+    C-implemented builtins — ``sum`` seeded with ``0.0`` reproduces the
+    interpreter's left-to-right float accumulation bit for bit, and
+    ``min``/``max`` keep the original value objects (and their types) rather
+    than float64 coercions.  Non-numeric values take the same path: the
+    builtins are the per-value fallback, applied per group instead of per row.
+    """
+    valid = object_validity_mask(values)
+    vcodes = codes[valid]
+    if func == "count":
+        return np.bincount(vcodes, minlength=n_groups).tolist()
+    vrows = np.nonzero(valid)[0]
+    order = np.argsort(vcodes, kind="stable")
+    boundaries = np.searchsorted(vcodes[order], np.arange(n_groups + 1))
+    gathered = [values[i] for i in vrows[order].tolist()]
+    starts = boundaries[:-1].tolist()
+    ends = boundaries[1:].tolist()
+    if func == "sum":
+        return [sum(gathered[s:e], 0.0) for s, e in zip(starts, ends)]
+    if func == "avg":
+        return [
+            sum(gathered[s:e], 0.0) / (e - s) if e > s else None
+            for s, e in zip(starts, ends)
+        ]
+    if func == "min":
+        return [min(gathered[s:e]) if e > s else None for s, e in zip(starts, ends)]
+    return [max(gathered[s:e]) if e > s else None for s, e in zip(starts, ends)]

@@ -14,11 +14,16 @@ from typing import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.engine.batch import numeric_column_array
+from repro.engine.batch import RecordBatch, numeric_column_array
 from repro.engine.types import RecordType
-from repro.layouts.assembly import assemble_records, assemble_rows, repetition_group
+from repro.layouts.assembly import (
+    assemble_columns,
+    assemble_records,
+    assemble_rows,
+    repetition_group,
+)
 from repro.layouts.base import CacheLayout, estimate_sequence_bytes
-from repro.layouts.striping import StripedColumn, stripe_records
+from repro.layouts.striping import StripedColumn, prune_schema, stripe_records
 
 
 class ParquetLayout(CacheLayout):
@@ -106,22 +111,79 @@ class ParquetLayout(CacheLayout):
     def rows(self) -> Iterator[dict]:
         return self.scan()
 
+    def scan_batches(
+        self,
+        fields: Sequence[str] | None = None,
+        batch_size: int = 1024,
+        numeric_fields: Sequence[str] | None = None,
+    ) -> Iterator[RecordBatch]:
+        """Yield the striped columns as :class:`RecordBatch` chunks.
+
+        Projection is pushed into the stripes: only the columns of ``fields``
+        are touched, and the schema is pruned to the requested leaf paths
+        before any grouping decision.  When every requested field is flat
+        (non-repeated), a batch is a set of striped-value list slices — the
+        stripe already holds one entry per record with ``None`` at every
+        below-max definition level, so no row assembly (and no
+        ``assemble_records``/``assemble_rows`` call) happens at all, and the
+        layout's cached float64 views are sliced alongside for ``numeric_fields``
+        so batch predicates evaluate as NumPy masks over shared arrays.
+        Requests touching nested fields fall back to the level-interpreting
+        assembly *per column* (:func:`~repro.layouts.assembly.assemble_columns`):
+        flat columns are still copied straight out of their stripes and only
+        the nested columns pay the per-entry level walk.
+        """
+        wanted = list(fields) if fields is not None else list(self.fields)
+        missing = [f for f in wanted if f not in self._columns]
+        if missing:
+            raise KeyError(f"columns not cached: {missing}")
+        flat_columns = {
+            f: self._columns[f].flat_values(self._record_count) for f in wanted
+        }
+        if wanted and all(values is not None for values in flat_columns.values()):
+            prime = set(numeric_fields or ())
+            arrays = {
+                f: self.numeric_array(f) if f in prime else self._numeric_arrays.get(f)
+                for f in wanted
+            }
+            for start in range(0, self._record_count, batch_size):
+                stop = min(self._record_count, start + batch_size)
+                batch = RecordBatch(
+                    {f: values[start:stop] for f, values in flat_columns.items()},
+                    row_count=stop - start,
+                )
+                for name, array in arrays.items():
+                    if array is not None:
+                        batch.set_numeric_view(name, array[start:stop])
+                yield batch
+            return
+        pruned = prune_schema(self.schema, wanted)
+        columns, row_count = assemble_columns(self._columns, pruned, wanted)
+        for start in range(0, row_count, batch_size):
+            stop = min(row_count, start + batch_size)
+            yield RecordBatch(
+                {f: col[start:stop] for f, col in columns.items()},
+                row_count=stop - start,
+            )
+
     # -- vectorized range filtering (non-nested columns only) ------------------
     def numeric_array(self, name: str) -> np.ndarray | None:
-        """A float64 view of a non-nested numeric column (one value per record)."""
+        """A float64 view of a non-nested numeric column (one value per record).
+
+        Definition levels are honored structurally: a flat stripe stores
+        ``None`` at exactly the entries whose definition level is below the
+        maximum (missing/NULL values), so converting the raw striped values
+        turns every NULL into NaN at its own record position — never skipped,
+        never shifting later records out of alignment with other columns.
+        """
         if name not in self._numeric_arrays:
             column = self._columns.get(name)
-            if column is None or column.is_nested:
-                self._numeric_arrays[name] = None
-            else:
-                values = []
-                for record_index in range(self._record_count):
-                    start, end = column.record_entries(record_index)
-                    if end > start and column.definition_levels[start] == column.max_definition:
-                        values.append(column.values[start])
-                    else:
-                        values.append(None)
-                self._numeric_arrays[name] = numeric_column_array(values)
+            values = (
+                None if column is None else column.flat_values(self._record_count)
+            )
+            self._numeric_arrays[name] = (
+                None if values is None else numeric_column_array(values)
+            )
         return self._numeric_arrays[name]
 
     def supports_range_filter(self, fields: Sequence[str]) -> bool:
@@ -140,6 +202,21 @@ class ParquetLayout(CacheLayout):
         through the level-interpreting :meth:`scan`.
         """
         wanted = list(fields) if fields is not None else list(self.fields)
+        mask = self._range_mask(ranges, wanted)
+        projected = [self._columns[name].flat_values(self._record_count) for name in wanted]
+        for index in np.nonzero(mask)[0]:
+            yield {name: values[index] for name, values in zip(wanted, projected)}
+
+    def _range_mask(
+        self, ranges: Mapping[str, tuple[float, float]], wanted: Sequence[str]
+    ) -> np.ndarray:
+        """The per-record boolean mask for a conjunction of closed ranges.
+
+        Shared by the row-yielding and batch-yielding filtered scans so the
+        two executor fast paths can never drift apart semantically.  Raises
+        for nested or non-numeric columns among the filtered *or* projected
+        fields (callers check :meth:`supports_range_filter` first).
+        """
         arrays = {}
         for field in set(wanted) | set(ranges):
             array = self.numeric_array(field)
@@ -149,30 +226,49 @@ class ParquetLayout(CacheLayout):
         mask = np.ones(self._record_count, dtype=bool)
         for field, (low, high) in ranges.items():
             mask &= (arrays[field] >= low) & (arrays[field] <= high)
-        projected = [self._columns[name] for name in wanted]
-        for index in np.nonzero(mask)[0]:
-            row = {}
-            for name, column in zip(wanted, projected):
-                start, end = column.record_entries(index)
-                if end > start and column.definition_levels[start] == column.max_definition:
-                    row[name] = column.values[start]
-                else:
-                    row[name] = None
-            yield row
+        return mask
+
+    def range_filtered_batch(
+        self,
+        ranges: Mapping[str, tuple[float, float]],
+        fields: Sequence[str] | None = None,
+        dedupe_records: bool = False,
+    ) -> RecordBatch:
+        """One :class:`RecordBatch` of the records satisfying closed numeric ranges.
+
+        The NumPy mask is evaluated on the striped per-record float64 views
+        *before* any materialization, then only the matching records' values
+        are gathered straight out of the stripes into batch columns (with the
+        matching slices of the float64 views pre-seeded).  Parent-level
+        columns carry one entry per record, so the output is record-granular
+        by construction and ``dedupe_records`` is inherently satisfied.
+        """
+        wanted = list(fields) if fields is not None else list(self.fields)
+        indexes = np.nonzero(self._range_mask(ranges, wanted))[0].tolist()
+        columns: dict[str, list] = {}
+        for name in wanted:
+            values = self._columns[name].flat_values(self._record_count)
+            assert values is not None  # guaranteed by the mask's numeric check
+            columns[name] = [values[i] for i in indexes]
+        batch = RecordBatch(columns, row_count=len(indexes))
+        for name in wanted:
+            array = self._numeric_arrays.get(name)
+            if array is not None:
+                batch.set_numeric_view(name, array[indexes])
+        return batch
 
     # -- internals ------------------------------------------------------------
     def _scan_flat(
         self, wanted: Sequence[str], predicate: Callable[[dict], bool] | None
     ) -> Iterator[dict]:
-        cols = [self._columns[f] for f in wanted]
-        for record_index in range(self._record_count):
-            row: dict = {}
-            for name, column in zip(wanted, cols):
-                start, end = column.record_entries(record_index)
-                if end > start and column.definition_levels[start] == column.max_definition:
-                    row[name] = column.values[start]
-                else:
-                    row[name] = None
+        cols = [self._columns[f].flat_values(self._record_count) for f in wanted]
+        if any(values is None for values in cols):  # malformed stripe: level walk
+            for row in assemble_rows(self._columns, self.schema, list(wanted)):
+                if predicate is None or predicate(row):
+                    yield row
+            return
+        for values in zip(*cols):
+            row = dict(zip(wanted, values))
             if predicate is None or predicate(row):
                 yield row
 

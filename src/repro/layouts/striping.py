@@ -54,6 +54,23 @@ class StripedColumn:
         """Return the (start, end) entry range belonging to one record."""
         return self.record_ranges[record_index]
 
+    def flat_values(self, record_count: int) -> list | None:
+        """The per-record value list of a non-repeated column, or ``None``.
+
+        A flat (non-repeated) column stripes exactly one entry per record, in
+        record order, and an entry whose definition level is below the maximum
+        always stores ``None`` (see :func:`_stripe_record`) — so the raw
+        ``values`` list *is* the per-record column, NULLs included and
+        position-aligned with every other flat column.  This is what the
+        Parquet layout's vectorized fast paths build batches and float64
+        views from without any level interpretation.  Returns ``None`` for
+        nested columns (or a malformed stripe whose entry count disagrees
+        with the record count), where entries need the level walk.
+        """
+        if self.is_nested or len(self.values) != record_count:
+            return None
+        return self.values
+
 
 def prune_schema(schema: RecordType, paths: Sequence[str]) -> RecordType:
     """Return a copy of ``schema`` containing only the given leaf paths."""

@@ -150,6 +150,38 @@ def test_group_batch_clusters_overlapping_ranges_widest_first():
     assert lone_group[0].query.label == "batch-3"
 
 
+def test_execute_group_widest_first_actually_warms_cache_for_narrow_members(dataset_dir):
+    """The grouping promise, checked end to end on the engine itself.
+
+    ``group_batch`` puts the widest predicate first; running the group through
+    :meth:`QueryEngine.execute_group` must then turn every narrower member
+    into a cache hit off the head query's admission — previously this was
+    only exercised indirectly through ``submit_batch``.
+    """
+    config = ReCacheConfig(adaptive_admission=False, layout_selection=False)
+    wide = _flat_query(0, 10.0, width=80.0)  # 10..90
+    narrow_a = _flat_query(1, 20.0, width=10.0)  # inside wide
+    narrow_b = _flat_query(2, 70.0, width=10.0)  # inside wide
+    (group,) = group_batch(_coalesce(_submissions([narrow_a, narrow_b, wide])))
+    ordered = [execution.query for execution in group]
+    assert ordered[0].label == "batch-0", "group must lead with the widest query"
+
+    engine = build_engine(dataset_dir, config)
+    reports = engine.execute_group(ordered)
+    assert reports[0].misses == 1 and reports[0].cache_hits == 0
+    for report in reports[1:]:
+        assert report.misses == 0, f"{report.label} re-scanned the raw file"
+        assert report.cache_hits == 1, f"{report.label} was not served from cache"
+
+    # Counterfactual: the submission order (narrowest first) admits per-narrow
+    # caches that cannot serve the wide query, so it pays extra raw scans —
+    # the widest-first reordering is what removes them.
+    unordered_engine = build_engine(dataset_dir, config)
+    unordered_reports = unordered_engine.execute_group([narrow_a, narrow_b, wide])
+    assert sum(report.misses for report in unordered_reports) > 1
+    assert sum(r.misses for r in reports) < sum(r.misses for r in unordered_reports)
+
+
 def test_group_batch_separates_different_sources():
     flat = _flat_query(0, 10.0)
     orders = Query.select_aggregate(

@@ -364,6 +364,71 @@ class TestBatchPredicates:
 # ---------------------------------------------------------------------------
 # RecordBatch mechanics
 # ---------------------------------------------------------------------------
+class TestNumpyGroupBy:
+    """The NumPy-backed grouped aggregation mirrors aggregate_rows exactly."""
+
+    def _specs(self):
+        from repro.engine.expressions import AggregateSpec
+
+        return [
+            AggregateSpec("sum", FieldRef("v")),
+            AggregateSpec("avg", FieldRef("v")),
+            AggregateSpec("count", FieldRef("v")),
+            AggregateSpec("min", FieldRef("v")),
+            AggregateSpec("max", FieldRef("v")),
+        ]
+
+    def _assert_parity(self, rows, group_by):
+        from repro.engine.compiler import compile_aggregates
+        from repro.engine.operators import aggregate_batches, aggregate_rows
+
+        expected = aggregate_rows(rows, compile_aggregates(self._specs()), group_by)
+        batches = [RecordBatch.from_rows(rows[i : i + 3]) for i in range(0, len(rows), 3)]
+        got = aggregate_batches(batches, compile_aggregates(self._specs()), group_by)
+        assert got == expected
+        for got_row, expected_row in zip(got, expected):
+            assert list(got_row) == list(expected_row)  # first-occurrence order
+            assert [type(value) for value in got_row.values()] == [
+                type(value) for value in expected_row.values()
+            ]
+        return got
+
+    def test_numeric_keys_with_nulls_and_mixed_types(self):
+        rows = [
+            {"g": 1, "v": 1.5},
+            {"g": 1.0, "v": 2.5},  # merges with int 1 (dict and float hashing agree)
+            {"g": True, "v": 4.0},  # ... and so does True
+            {"g": None, "v": 3.0},  # null key forces the dict factorize path
+            {"g": 2, "v": None},  # null value: dropped from every aggregate
+        ]
+        self._assert_parity(rows, ["g"])
+
+    def test_string_and_multi_key_grouping(self):
+        rows = [
+            {"g": "a", "h": 1, "v": 1.0},
+            {"g": "b", "h": 1, "v": 2.0},
+            {"g": "a", "h": 2, "v": 4.0},
+            {"g": "a", "h": 1, "v": 8.0},
+            {"g": None, "h": 1, "v": 16.0},
+        ]
+        self._assert_parity(rows, ["g"])
+        self._assert_parity(rows, ["g", "h"])
+
+    def test_huge_integer_keys_do_not_merge_in_float64(self):
+        """Regression: 2**53 and 2**53 + 1 coerce to the same float64; the
+        factorize fast path must detect the magnitude and fall back to the
+        dict pass instead of silently merging distinct groups."""
+        rows = [{"g": 2**53, "v": 1.0}, {"g": 2**53 + 1, "v": 10.0}]
+        results = self._assert_parity(rows, ["g"])
+        assert len(results) == 2
+
+    def test_empty_input_yields_no_groups(self):
+        from repro.engine.compiler import compile_aggregates
+        from repro.engine.operators import aggregate_batches
+
+        assert aggregate_batches([], compile_aggregates(self._specs()), ["g"]) == []
+
+
 class TestRecordBatch:
     def test_take_project_and_rows_roundtrip(self):
         rows = [{"a": i, "b": i * 0.5} for i in range(10)]

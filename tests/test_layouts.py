@@ -171,6 +171,81 @@ class TestLayouts:
             build_layout("unknown", SCHEMA, FIELDS, records=RECORDS)
 
 
+NULLABLE_SCHEMA = RecordType([Field("id", INT), Field("v", FLOAT), Field("w", FLOAT)])
+NULLABLE_ROWS = [
+    {"id": 1, "v": 1.5, "w": 10.0},
+    {"id": 2, "v": None, "w": 20.0},
+    {"id": 3, "v": 3.5, "w": None},
+    {"id": 4, "v": None, "w": 40.0},
+    {"id": 5, "v": 5.5, "w": 50.0},
+]
+
+
+class TestParquetBatchFastPath:
+    """The vectorized parquet scan paths: no assembly for flat fields, NULL
+    alignment in the float64 views, and mask-before-materialize filtering."""
+
+    def _no_assembly(self, monkeypatch):
+        """Make any call into the row/record assembly machinery fail loudly."""
+        import repro.layouts.parquet as parquet_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("flat fast path must not assemble rows/records")
+
+        monkeypatch.setattr(parquet_module, "assemble_records", boom)
+        monkeypatch.setattr(parquet_module, "assemble_rows", boom)
+
+    def test_flat_scan_batches_skip_assembly(self, monkeypatch):
+        layout = build_layout("parquet", SCHEMA, FIELDS, records=RECORDS)
+        self._no_assembly(monkeypatch)
+        batches = list(layout.scan_batches(fields=["key", "total"], batch_size=2))
+        assert [batch.row_count for batch in batches] == [2, 1]
+        rows = [row for batch in batches for row in batch.iter_rows()]
+        assert rows == list(layout.scan(fields=["key", "total"]))
+
+    def test_flat_scan_batches_preseed_numeric_views(self, monkeypatch):
+        layout = build_layout("parquet", SCHEMA, FIELDS, records=RECORDS)
+        self._no_assembly(monkeypatch)
+        (batch,) = layout.scan_batches(fields=["key", "total"], numeric_fields=["total"])
+        # The view comes pre-seeded from the layout's cached array: identical
+        # values, and present without touching the batch's lazy builder.
+        assert batch._numeric["total"].tolist() == [10.0, 20.0, 30.0]
+
+    def test_nested_scan_batches_match_scan(self):
+        layout = build_layout("parquet", SCHEMA, FIELDS, records=RECORDS)
+        wanted = ["key", "items.q", "items.p"]
+        rows = [row for batch in layout.scan_batches(fields=wanted, batch_size=2) for row in batch.iter_rows()]
+        assert rows == list(layout.scan(fields=wanted))
+
+    def test_range_filtered_batch_matches_iterator(self):
+        layout = build_layout("parquet", SCHEMA, FIELDS, records=RECORDS)
+        ranges = {"total": (15.0, 35.0)}
+        batch = layout.range_filtered_batch(ranges, fields=["key", "total"])
+        assert batch.to_rows() == list(layout.scan_range_filtered(ranges, fields=["key", "total"]))
+
+    def test_numeric_array_keeps_nulls_aligned(self):
+        """Regression: NULLs become NaN at their own record position, never
+        skipped, so masks over several columns stay row-aligned."""
+        import numpy as np
+
+        layout = build_layout(
+            "parquet", NULLABLE_SCHEMA, NULLABLE_SCHEMA.field_names(), rows=NULLABLE_ROWS
+        )
+        array = layout.numeric_array("v")
+        assert len(array) == len(NULLABLE_ROWS)
+        assert np.isnan(array[[1, 3]]).all()
+        assert array[[0, 2, 4]].tolist() == [1.5, 3.5, 5.5]
+        # A conjunction across a nullable and a non-nullable column must pair
+        # values belonging to the same record (misalignment would let id=2 or
+        # id=4 leak in via a shifted v value).
+        batch = layout.range_filtered_batch({"v": (0.0, 9.0), "w": (0.0, 45.0)}, fields=["id", "v", "w"])
+        assert batch.to_rows() == [
+            {"id": 1, "v": 1.5, "w": 10.0},
+        ]
+        rows = list(layout.scan_range_filtered({"v": (0.0, 9.0), "w": (0.0, 45.0)}, fields=["id"]))
+        assert rows == [{"id": 1}]
+
+
 class TestConversion:
     @pytest.mark.parametrize("source", ["row", "columnar", "parquet"])
     @pytest.mark.parametrize("target", ["row", "columnar", "parquet"])

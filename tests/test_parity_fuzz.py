@@ -1,0 +1,308 @@
+"""Differential parity fuzzing: batched pipeline vs row interpreter.
+
+Seeded random queries — range/comparison/arithmetic predicates (strings,
+division, null-heavy columns included), varying projections, equi-joins and
+grouped aggregates — run against engines pinned to each of the three cache
+layouts, once with ``vectorized_execution`` on and once with it off, asserting
+identical results, per-query report counters and end-state cache counters.
+
+The default (CI smoke) run executes a fixed-seed subset of
+``PARITY_FUZZ_QUERIES`` queries per layout (100 x 3 = 300 total, above the
+>= 200-query acceptance bar); set the ``RECACHE_PARITY_FUZZ_QUERIES``
+environment variable to fuzz harder locally.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro import Query, QueryEngine, ReCacheConfig
+from repro.engine.expressions import (
+    AggregateSpec,
+    And,
+    Arithmetic,
+    Comparison,
+    FieldRef,
+    Literal,
+    Not,
+    Or,
+    RangePredicate,
+)
+from repro.engine.query import JoinSpec, TableRef
+from repro.engine.types import FLOAT, INT, STRING, Field, RecordType
+from repro.formats import write_csv, write_json_lines
+from repro.workloads.nested import synthetic_order_lineitems
+from repro.workloads.tpch import ORDER_LINEITEMS_SCHEMA
+from tests.test_batch_execution import _cache_counters, _canonical, _report_counters
+
+PARITY_FUZZ_QUERIES = int(os.environ.get("RECACHE_PARITY_FUZZ_QUERIES", "100"))
+FUZZ_SEED = 20260729
+
+EVENTS_SCHEMA = RecordType(
+    [
+        Field("id", INT),
+        Field("value", FLOAT),
+        Field("score", FLOAT),  # null-heavy
+        Field("ratio", FLOAT),  # never zero nor null: safe division operand
+        Field("bucket", INT),
+        Field("name", STRING),  # occasionally null
+    ]
+)
+DIMS_SCHEMA = RecordType(
+    [Field("key", INT), Field("label", STRING), Field("weight", FLOAT)]
+)
+
+EVENT_RANGES = {"id": (0.0, 400.0), "value": (-50.0, 50.0), "score": (0.0, 10.0),
+                "ratio": (0.5, 2.0), "bucket": (0.0, 8.0)}
+ORDER_RANGES = {
+    "o_orderkey": (1.0, 120.0),
+    "o_custkey": (1.0, 2000.0),
+    "o_totalprice": (900.0, 500000.0),
+    "o_orderdate": (8000.0, 10600.0),
+    "o_shippriority": (0.0, 1.0),
+    "lineitems.l_quantity": (1.0, 50.0),
+    "lineitems.l_extendedprice": (900.0, 105000.0),
+    "lineitems.l_suppkey": (1.0, 1000.0),
+}
+NAMES = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+
+
+def _event_rows(count: int, rng: random.Random) -> list[dict]:
+    rows = []
+    for i in range(count):
+        rows.append(
+            {
+                "id": i,
+                "value": round(rng.uniform(-50.0, 50.0), 3),
+                "score": None if rng.random() < 0.4 else round(rng.uniform(0.0, 10.0), 2),
+                "ratio": round(rng.uniform(0.5, 2.0), 3),
+                "bucket": rng.randint(0, 8),
+                "name": None if rng.random() < 0.15 else rng.choice(NAMES),
+            }
+        )
+    return rows
+
+
+def _dim_rows(rng: random.Random) -> list[dict]:
+    return [
+        {"key": key, "label": rng.choice(NAMES), "weight": round(rng.uniform(0.0, 5.0), 3)}
+        for key in range(9)
+        for _ in range(rng.randint(1, 3))
+    ]
+
+
+@pytest.fixture(scope="module")
+def fuzz_dataset_dir(tmp_path_factory):
+    rng = random.Random(FUZZ_SEED)
+    directory = tmp_path_factory.mktemp("parity-fuzz")
+    write_csv(directory / "events.csv", EVENTS_SCHEMA, _event_rows(400, rng))
+    write_csv(directory / "dims.csv", DIMS_SCHEMA, _dim_rows(rng))
+    write_json_lines(directory / "orders.json", synthetic_order_lineitems(120, seed=FUZZ_SEED))
+    return directory
+
+
+LAYOUT_CONFIGS = {
+    "row": {"default_flat_layout": "row", "default_nested_layout": "columnar"},
+    "columnar": {"default_flat_layout": "columnar", "default_nested_layout": "columnar"},
+    "parquet": {"default_flat_layout": "columnar", "default_nested_layout": "parquet"},
+}
+
+
+def _build_engine(directory, vectorized: bool, layout_overrides: dict) -> QueryEngine:
+    config = ReCacheConfig(
+        vectorized_execution=vectorized,
+        adaptive_admission=False,  # deterministic eager admission
+        layout_selection=False,  # keep the pinned layout throughout
+        admission_sample_records=40,
+        **layout_overrides,
+    )
+    engine = QueryEngine(config)
+    engine.register_csv("events", directory / "events.csv", EVENTS_SCHEMA)
+    engine.register_csv("dims", directory / "dims.csv", DIMS_SCHEMA)
+    engine.register_json("orders", directory / "orders.json", ORDER_LINEITEMS_SCHEMA)
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# Random query generation
+# ---------------------------------------------------------------------------
+def _random_range(rng: random.Random, field: str, ranges: dict) -> RangePredicate:
+    low, high = ranges[field]
+    a, b = rng.uniform(low, high), rng.uniform(low, high)
+    if a > b:
+        a, b = b, a
+    return RangePredicate(field, round(a, 3), round(b, 3))
+
+
+def _random_leaf(rng: random.Random, ranges: dict, string_fields: list[str]):
+    kind = rng.random()
+    numeric = rng.choice(sorted(ranges))
+    low, high = ranges[numeric]
+    if kind < 0.45:
+        return _random_range(rng, numeric, ranges)
+    if kind < 0.65:
+        op = rng.choice(["<", "<=", ">", ">=", "=="])
+        return Comparison(op, FieldRef(numeric), Literal(round(rng.uniform(low, high), 2)))
+    if kind < 0.8 and string_fields:
+        field = rng.choice(string_fields)
+        op = rng.choice(["==", "<", ">", "<="])
+        return Comparison(op, FieldRef(field), Literal(rng.choice(NAMES)))
+    if kind < 0.9:
+        # Division: always takes the compiled per-row fallback in the batched
+        # pipeline (NumPy would silently change ZeroDivisionError semantics).
+        divisor = Literal(rng.choice([2.0, 3.0, 7.5])) if rng.random() < 0.5 else FieldRef("ratio")
+        if "ratio" not in ranges and not isinstance(divisor, Literal):
+            divisor = Literal(3.0)
+        expr = Arithmetic("/", FieldRef(numeric), divisor)
+        return Comparison(rng.choice(["<", ">="]), expr, Literal(round(rng.uniform(low, high) / 2, 2)))
+    other = rng.choice(sorted(ranges))
+    expr = Arithmetic(rng.choice(["+", "-", "*"]), FieldRef(numeric), FieldRef(other))
+    return Comparison(rng.choice(["<", ">"]), expr, Literal(round(rng.uniform(low * 2, high * 2), 2)))
+
+
+def _random_predicate(rng: random.Random, ranges: dict, string_fields: list[str]):
+    roll = rng.random()
+    if roll < 0.35:
+        return _random_leaf(rng, ranges, string_fields)
+    if roll < 0.6:
+        return And([_random_leaf(rng, ranges, string_fields) for _ in range(2)])
+    if roll < 0.8:
+        return Or([_random_leaf(rng, ranges, string_fields) for _ in range(2)])
+    if roll < 0.9:
+        return Not(_random_leaf(rng, ranges, string_fields))
+    return And([_random_range(rng, rng.choice(sorted(ranges)), ranges),
+                Or([_random_leaf(rng, ranges, string_fields) for _ in range(2)])])
+
+
+def _random_aggregates(rng: random.Random, numeric_fields: list[str], string_fields: list[str]):
+    aggregates = []
+    for _ in range(rng.randint(1, 3)):
+        roll = rng.random()
+        if roll < 0.15 and string_fields:
+            aggregates.append(
+                AggregateSpec(rng.choice(["min", "max", "count"]), FieldRef(rng.choice(string_fields)))
+            )
+        else:
+            func = rng.choice(["sum", "avg", "count", "min", "max"])
+            aggregates.append(AggregateSpec(func, FieldRef(rng.choice(numeric_fields))))
+    return aggregates
+
+
+def _random_query(rng: random.Random, index: int) -> Query:
+    roll = rng.random()
+    if roll < 0.45:  # flat CSV (null-heavy + strings + division)
+        predicate = _random_predicate(rng, EVENT_RANGES, ["name"])
+        numeric = sorted(EVENT_RANGES)
+        if rng.random() < 0.2:  # plain select-project, no aggregation
+            return Query(tables=[TableRef("events", predicate)], label=f"fuzz-select-{index}")
+        group_by = []
+        if rng.random() < 0.45:
+            group_by = rng.sample(["bucket", "name"], rng.randint(1, 2))
+        return Query(
+            tables=[TableRef("events", predicate)],
+            aggregates=_random_aggregates(rng, numeric, ["name"]),
+            group_by=group_by,
+            label=f"fuzz-events-{index}",
+        )
+    if roll < 0.75:  # nested JSON: mixes flat-only and nested-touching queries
+        flat_only = rng.random() < 0.5
+        ranges = {k: v for k, v in ORDER_RANGES.items() if flat_only is False or "." not in k}
+        predicate = _random_predicate(rng, ranges, [])
+        numeric = sorted(ranges)
+        group_by = [rng.choice(["o_shippriority", "o_orderdate"])] if rng.random() < 0.4 else []
+        return Query(
+            tables=[TableRef("orders", predicate)],
+            aggregates=_random_aggregates(rng, numeric, []),
+            group_by=group_by,
+            label=f"fuzz-orders-{index}",
+        )
+    # equi-join events.bucket = dims.key with per-table predicates
+    left = _random_predicate(rng, EVENT_RANGES, ["name"]) if rng.random() < 0.8 else None
+    right = _random_range(rng, "weight", {"weight": (0.0, 5.0)}) if rng.random() < 0.6 else None
+    aggregates = _random_aggregates(rng, ["value", "id", "weight"], ["label"])
+    group_by = ["bucket"] if rng.random() < 0.3 else []
+    return Query(
+        tables=[TableRef("events", left), TableRef("dims", right)],
+        joins=[JoinSpec("events", "bucket", "dims", "key")],
+        aggregates=aggregates,
+        group_by=group_by,
+        label=f"fuzz-join-{index}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# The harness
+# ---------------------------------------------------------------------------
+def _layout_seed_offset(layout: str) -> int:
+    """A deterministic per-layout seed offset (``hash()`` is randomized)."""
+    return sorted(LAYOUT_CONFIGS).index(layout) + 1
+
+
+@pytest.mark.parametrize("layout", sorted(LAYOUT_CONFIGS))
+def test_parity_fuzz(fuzz_dataset_dir, layout):
+    """Batched and interpreted execution agree on a seeded random workload."""
+    rng = random.Random(FUZZ_SEED + _layout_seed_offset(layout))
+    batched = _build_engine(fuzz_dataset_dir, True, LAYOUT_CONFIGS[layout])
+    interpreted = _build_engine(fuzz_dataset_dir, False, LAYOUT_CONFIGS[layout])
+    for index in range(PARITY_FUZZ_QUERIES):
+        query = _random_query(rng, index)
+        batched_report = batched.execute(query)
+        interpreted_report = interpreted.execute(query)
+        assert _canonical(batched_report.results) == _canonical(interpreted_report.results), (
+            f"[{layout}] result mismatch on query #{index} ({query.label}): "
+            f"{query.signature()}"
+        )
+        assert _report_counters(batched_report) == _report_counters(interpreted_report), (
+            f"[{layout}] report mismatch on query #{index} ({query.label})"
+        )
+    assert _cache_counters(batched) == _cache_counters(interpreted)
+
+
+def test_fuzz_workload_exercises_the_interesting_shapes(fuzz_dataset_dir):
+    """The fixed seed actually generates the shapes the harness exists for."""
+    rng = random.Random(FUZZ_SEED + _layout_seed_offset("parquet"))
+    queries = [_random_query(rng, index) for index in range(PARITY_FUZZ_QUERIES)]
+
+    def predicates():
+        for query in queries:
+            for table in query.tables:
+                if table.predicate is not None:
+                    yield query, table.predicate
+
+    def walk(expr):
+        yield expr
+        for attr in ("children",):
+            for child in getattr(expr, attr, ()):
+                yield from walk(child)
+        for attr in ("child", "left", "right"):
+            child = getattr(expr, attr, None)
+            if child is not None and not isinstance(child, str):
+                yield from walk(child)
+
+    nodes = [node for _, predicate in predicates() for node in walk(predicate)]
+    assert any(isinstance(n, Arithmetic) and n.op == "/" for n in nodes), "no division predicate"
+    assert any(
+        isinstance(n, Comparison)
+        and any(isinstance(side, Literal) and isinstance(side.value, str) for side in (n.left, n.right))
+        for n in nodes
+    ), "no string comparison"
+    assert any(isinstance(n, FieldRef) and n.path == "score" for n in nodes), "no null-heavy column"
+    assert any(query.group_by for query in queries), "no grouped aggregates"
+    assert any(query.joins for query in queries), "no joins"
+    assert any(not query.aggregates for query in queries), "no plain select-project queries"
+    assert any("." in field for query in queries for field in _query_fields(query)), (
+        "no nested-attribute query"
+    )
+
+
+def _query_fields(query: Query) -> set[str]:
+    fields: set[str] = set(query.group_by)
+    for table in query.tables:
+        if table.predicate is not None:
+            fields |= table.predicate.referenced_fields()
+    for aggregate in query.aggregates:
+        fields |= aggregate.expr.referenced_fields()
+    return fields

@@ -1,0 +1,162 @@
+"""Property tests for Dremel-style column striping.
+
+Seeded random schemas and records (hypothesis-style generators, no external
+dependency) check two invariants the Parquet layout's fast paths lean on:
+
+* ``stripe_records`` -> ``assemble_records`` round-trips arbitrary records of
+  the nesting shapes the repository supports (atoms, records of atoms, lists
+  of atoms, lists of records, with nulls at every level),
+* ``prune_schema`` never drops a requested leaf path, and never invents one.
+
+Plus the structural invariant behind
+:meth:`~repro.layouts.striping.StripedColumn.flat_values`: a flat column
+stripes exactly one entry per record, with ``None`` at exactly the positions
+whose definition level is below the maximum.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.types import (
+    FLOAT,
+    INT,
+    STRING,
+    Field,
+    ListType,
+    RecordType,
+)
+from repro.layouts.assembly import assemble_columns, assemble_records, assemble_rows
+from repro.layouts.striping import prune_schema, stripe_records
+
+ATOMS = (INT, FLOAT, STRING)
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+def random_schema(rng: random.Random) -> RecordType:
+    """A random top-level schema over the supported nesting shapes."""
+    fields = []
+    for index in range(rng.randint(1, 6)):
+        name = f"f{index}"
+        roll = rng.random()
+        if roll < 0.4:
+            fields.append(Field(name, rng.choice(ATOMS)))
+        elif roll < 0.55:  # record of atoms
+            inner = [Field(f"a{j}", rng.choice(ATOMS)) for j in range(rng.randint(1, 3))]
+            fields.append(Field(name, RecordType(inner)))
+        elif roll < 0.75:  # list of atoms
+            fields.append(Field(name, ListType(rng.choice(ATOMS))))
+        else:  # list of records
+            inner = [Field(f"a{j}", rng.choice(ATOMS)) for j in range(rng.randint(1, 3))]
+            fields.append(Field(name, ListType(RecordType(inner))))
+    return RecordType(fields)
+
+
+def _random_atom(rng: random.Random, dtype) -> object:
+    if rng.random() < 0.25:
+        return None
+    if dtype is INT:
+        return rng.randint(-1000, 1000)
+    if dtype is FLOAT:
+        return round(rng.uniform(-100.0, 100.0), 3)
+    return rng.choice(["red", "green", "blue", "", "x" * rng.randint(1, 5)])
+
+
+def random_record(rng: random.Random, schema: RecordType) -> dict:
+    """A random record in *canonical* form (what assembly reconstructs).
+
+    Striping cannot distinguish a missing field from an explicit ``None``,
+    nor a missing list from an empty one, so the generator always emits every
+    field, with ``None`` for missing atoms/records' leaves and ``[]`` for
+    empty collections — the canonical shape ``assemble_records`` produces.
+    """
+    record: dict = {}
+    for field in schema.fields:
+        dtype = field.dtype
+        if isinstance(dtype, ListType):
+            count = rng.choice([0, 0, 1, 2, 3, 5])
+            if isinstance(dtype.element, RecordType):
+                record[field.name] = [
+                    {
+                        inner.name: _random_atom(rng, inner.dtype)
+                        for inner in dtype.element.fields
+                    }
+                    for _ in range(count)
+                ]
+            else:
+                record[field.name] = [_random_atom(rng, dtype.element) for _ in range(count)]
+        elif isinstance(dtype, RecordType):
+            record[field.name] = {
+                inner.name: _random_atom(rng, inner.dtype) for inner in dtype.fields
+            }
+        else:
+            record[field.name] = _random_atom(rng, dtype)
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(25))
+def test_stripe_assemble_roundtrip(seed):
+    rng = random.Random(1000 + seed)
+    schema = random_schema(rng)
+    records = [random_record(rng, schema) for _ in range(rng.randint(1, 30))]
+    columns = stripe_records(records, schema)
+    assert list(assemble_records(columns, schema)) == records
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_prune_schema_keeps_every_requested_path(seed):
+    rng = random.Random(2000 + seed)
+    schema = random_schema(rng)
+    leaves = schema.leaf_paths()
+    wanted = rng.sample(leaves, rng.randint(1, len(leaves)))
+    pruned = prune_schema(schema, wanted)
+    assert set(pruned.leaf_paths()) == set(wanted), (
+        f"prune_schema dropped or invented paths for {wanted} on {leaves}"
+    )
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_assemble_columns_matches_assemble_rows(seed):
+    """The column-wise assembly (parquet batch fallback) mirrors the row FSM."""
+    rng = random.Random(3000 + seed)
+    schema = random_schema(rng)
+    records = [random_record(rng, schema) for _ in range(rng.randint(1, 20))]
+    columns = stripe_records(records, schema)
+    leaves = schema.leaf_paths()
+    wanted = rng.sample(leaves, rng.randint(1, len(leaves)))
+    pruned = prune_schema(schema, wanted)
+    expected = list(assemble_rows(columns, schema, wanted))
+    assembled, row_count = assemble_columns(columns, pruned, wanted)
+    assert row_count == len(expected)
+    rebuilt = [
+        {field: assembled[field][i] for field in wanted} for i in range(row_count)
+    ]
+    assert rebuilt == expected
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_flat_columns_stripe_one_aligned_entry_per_record(seed):
+    rng = random.Random(4000 + seed)
+    schema = random_schema(rng)
+    records = [random_record(rng, schema) for _ in range(rng.randint(1, 20))]
+    columns = stripe_records(records, schema)
+    for path, column in columns.items():
+        if column.is_nested:
+            assert column.flat_values(len(records)) is None
+            continue
+        values = column.flat_values(len(records))
+        assert values is not None and len(values) == len(records)
+        for index, (value, definition) in enumerate(
+            zip(column.values, column.definition_levels)
+        ):
+            if definition == column.max_definition:
+                assert value is not None, (path, index)
+            else:
+                assert value is None, (path, index)
