@@ -4,12 +4,15 @@
 Runs the Yelp-style, TPC-H and Symantec-style workloads twice — once with the
 row-at-a-time interpreter (``vectorized_execution=False``) and once with the
 batched pipeline — on identically configured fresh engines, and additionally
-measures three cache-hit fast paths in isolation: repeated selective range
+measures five cache-hit fast paths in isolation: repeated selective range
 queries against a warm relational columnar cache (the scan shape ReCache's
 reuse argument rests on), repeated flat-field scans against a warm *parquet*
-cache (striped-column batch slicing + NumPy masks, no row assembly), and
-repeated grouped aggregation against a warm columnar cache (the NumPy-backed
-group-by versus per-row dict grouping).
+cache (striped-column batch slicing + NumPy masks, no row assembly), repeated
+grouped aggregation against a warm columnar cache (the NumPy-backed group-by
+versus per-row dict grouping), a repeated cache-hit equi-join (the factorized
+NumPy probe versus the interpreted row-at-a-time probe), and a rows-heavy
+select served with ``result_format="rows"`` versus ``"columnar"`` (the
+columnar pipeline exit that skips per-row dict materialization).
 
 Results are written to ``BENCH_batch_pipeline.json``: queries/sec per workload
 and mode, the per-operator time breakdown (operator / caching / cache-scan /
@@ -34,6 +37,7 @@ from pathlib import Path
 from repro import (
     AggregateSpec,
     FieldRef,
+    JoinSpec,
     Or,
     Query,
     QueryEngine,
@@ -268,6 +272,126 @@ def run_groupby_cache_hit(scale_factor: float, repeats: int) -> dict:
     return results
 
 
+def run_join_cache_hit(scale_factor: float, repeats: int) -> dict:
+    """Cache-hit equi-join (orders x lineitem), isolated.
+
+    Both engines warm eagerly admitted columnar caches over *both* join
+    inputs with one cold query (two misses), then serve ``repeats``
+    identical join queries entirely from cache; only the hit phase is timed.
+    This isolates the join operator itself: the interpreted path probes its
+    hash table one row dictionary at a time, while the batched path runs the
+    factorized probe — build keys grouped once, whole probe key columns
+    resolved via NumPy ``searchsorted``, matches expanded as index arrays.
+    The smoke run gates on >= 1.0x (the factorized join must never regress
+    below the interpreted join); the full run targets >= 1.2x.
+    """
+    query = Query(
+        tables=[
+            TableRef("orders", RangePredicate("o_totalprice", 1_000.0, 400_000.0)),
+            TableRef("lineitem", RangePredicate("l_quantity", 1.0, 40.0)),
+        ],
+        joins=[JoinSpec("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        aggregates=[
+            # The count runs over the join key, which is non-null on every
+            # matched row, so its value IS the join cardinality — recorded
+            # below as the section's sanity metric.
+            AggregateSpec("count", FieldRef("l_orderkey"), alias="join_rows"),
+            AggregateSpec("sum", FieldRef("l_extendedprice")),
+        ],
+        label="join-cache-hit",
+    )
+    results: dict[str, dict] = {}
+    for mode in MODES:
+        vectorized = mode == "batched"
+        config = _workload_config(
+            vectorized_execution=vectorized,
+            adaptive_admission=False,  # deterministic eager admission
+            layout_selection=False,  # keep both caches columnar throughout
+            default_flat_layout="columnar",
+        )
+        engine = tpch_engine(config, scale_factor=scale_factor)
+        warm = engine.execute(query)
+        assert warm.misses == 2, "warm-up should miss on both join inputs"
+        started = time.perf_counter()
+        for _ in range(repeats):
+            report = engine.execute(query)
+        wall = time.perf_counter() - started
+        assert report.exact_hits == 2, "hit phase should be served from both caches"
+        results[mode] = {
+            "repeats": repeats,
+            "wall_time_s": wall,
+            "queries_per_sec": repeats / wall if wall > 0 else 0.0,
+            "join_output_rows": warm.results[0]["join_rows"],
+            "operator_time_s_per_query": report.operator_time,
+        }
+    interpreted = results["interpreted"]["wall_time_s"]
+    batched = results["batched"]["wall_time_s"]
+    results["speedup"] = interpreted / batched if batched > 0 else 0.0
+    print(
+        f"[join-cache-hit] interpreted {results['interpreted']['queries_per_sec']:.1f} q/s, "
+        f"batched {results['batched']['queries_per_sec']:.1f} q/s "
+        f"(speedup {results['speedup']:.2f}x)"
+    )
+    return results
+
+
+def run_columnar_exit(scale_factor: float, repeats: int) -> dict:
+    """Rows-heavy select served from a warm columnar cache: rows vs columnar exit.
+
+    One batched engine, one warm cache, two timed hit phases over the same
+    query — the only difference is the pipeline exit: ``result_format="rows"``
+    materializes one Python dict per output row, ``"columnar"`` hands the
+    pipeline's record batches to the caller as-is.  The query keeps most rows
+    (a wide conjunctive range over two columns), so the measurement is
+    dominated by the exit itself.  A parity assert keeps the two phases
+    honest: the columnar result's ``to_rows()`` must equal the rows output.
+    Full-run target: >= 1.2x.
+    """
+    query = Query(
+        tables=[
+            TableRef(
+                "lineitem",
+                RangePredicate("l_extendedprice", 1_000.0, 90_000.0),
+            )
+        ],
+        label="columnar-exit",
+    )
+    config = _workload_config(
+        vectorized_execution=True,
+        adaptive_admission=False,
+        layout_selection=False,
+        default_flat_layout="columnar",
+    )
+    engine = tpch_engine(config, scale_factor=scale_factor)
+    warm = engine.execute(query)
+    assert warm.misses == 1, "warm-up should miss"
+    results: dict[str, dict] = {}
+    parity: dict[str, object] = {}
+    for result_format in ("rows", "columnar"):
+        started = time.perf_counter()
+        for _ in range(repeats):
+            report = engine.execute(query, result_format=result_format)
+        wall = time.perf_counter() - started
+        assert report.exact_hits == 1, "hit phase should be served from cache"
+        parity[result_format] = report.results
+        results[result_format] = {
+            "repeats": repeats,
+            "wall_time_s": wall,
+            "queries_per_sec": repeats / wall if wall > 0 else 0.0,
+            "rows_returned_per_query": report.rows_returned,
+        }
+    assert parity["columnar"].to_rows() == parity["rows"], "columnar exit lost parity"
+    rows_wall = results["rows"]["wall_time_s"]
+    columnar_wall = results["columnar"]["wall_time_s"]
+    results["speedup"] = rows_wall / columnar_wall if columnar_wall > 0 else 0.0
+    print(
+        f"[columnar-exit] rows {results['rows']['queries_per_sec']:.1f} q/s, "
+        f"columnar {results['columnar']['queries_per_sec']:.1f} q/s "
+        f"(speedup {results['speedup']:.2f}x)"
+    )
+    return results
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -282,10 +406,12 @@ def main() -> None:
         yelp_records, tpch_scale, symantec_json = 200, 0.002, 150
         num_queries, hit_repeats, hit_scale = 15, 10, 0.005
         orders_scale, parquet_repeats, groupby_repeats = 0.004, 30, 15
+        join_repeats, exit_repeats = 15, 20
     else:
         yelp_records, tpch_scale, symantec_json = 1500, 0.01, 1200
         num_queries, hit_repeats, hit_scale = 60, 50, 0.02
         orders_scale, parquet_repeats, groupby_repeats = 0.02, 60, 40
+        join_repeats, exit_repeats = 40, 50
 
     workloads = {
         "yelp": run_workload(
@@ -313,6 +439,8 @@ def main() -> None:
     cache_hit = run_columnar_cache_hit(hit_scale, hit_repeats)
     parquet_hit = run_parquet_cache_hit(orders_scale, parquet_repeats)
     groupby_hit = run_groupby_cache_hit(hit_scale, groupby_repeats)
+    join_hit = run_join_cache_hit(hit_scale, join_repeats)
+    columnar_exit = run_columnar_exit(hit_scale, exit_repeats)
 
     payload = {
         "benchmark": "batch_pipeline",
@@ -323,33 +451,48 @@ def main() -> None:
         "columnar_cache_hit": cache_hit,
         "parquet_cache_hit": parquet_hit,
         "groupby_cache_hit": groupby_hit,
+        "join_cache_hit": join_hit,
+        "columnar_exit": columnar_exit,
     }
     out_path = Path(args.out)
     out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {out_path}")
 
     # The smoke run verifies that throughput was *measured* for both pipelines
-    # (ratios on tiny CI datasets are mostly noise) plus one regression gate:
-    # the batched parquet cache-hit scan must not fall below the interpreted
-    # path.  Full runs check the acceptance targets.
+    # (ratios on tiny CI datasets are mostly noise) plus two regression gates:
+    # the batched parquet cache-hit scan and the factorized cache-hit join
+    # must not fall below the interpreted path.  Full runs check the
+    # acceptance targets.
     isolated = {
         "columnar_cache_hit": cache_hit,
         "parquet_cache_hit": parquet_hit,
         "groupby_cache_hit": groupby_hit,
+        "join_cache_hit": join_hit,
     }
     for name, result in {**workloads, **isolated}.items():
         for mode in MODES:
             assert result[mode]["queries_per_sec"] > 0.0, f"{name}/{mode} not measured"
+    for result_format in ("rows", "columnar"):
+        assert columnar_exit[result_format]["queries_per_sec"] > 0.0, (
+            f"columnar_exit/{result_format} not measured"
+        )
     if parquet_hit["speedup"] < 1.0:
         raise SystemExit(
             f"parquet cache-hit speedup {parquet_hit['speedup']:.2f}x: batched scan "
             "regressed below the interpreted path"
+        )
+    if join_hit["speedup"] < 1.0:
+        raise SystemExit(
+            f"join cache-hit speedup {join_hit['speedup']:.2f}x: factorized join "
+            "regressed below the interpreted join"
         )
     if not args.smoke:
         targets = {
             "columnar_cache_hit": (cache_hit, 3.0),
             "parquet_cache_hit": (parquet_hit, 1.5),
             "groupby_cache_hit": (groupby_hit, 1.5),
+            "join_cache_hit": (join_hit, 1.2),
+            "columnar_exit": (columnar_exit, 1.2),
         }
         for name, (result, floor) in targets.items():
             if result["speedup"] < floor:

@@ -37,7 +37,16 @@ from repro.engine.expressions import (
 )
 from repro.engine.query import JoinSpec, Query, TableRef
 from repro.engine.session import QueryEngine
-from repro.engine.types import BOOL, FLOAT, INT, STRING, Field, ListType, RecordType
+from repro.engine.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    ColumnarResult,
+    Field,
+    ListType,
+    RecordType,
+)
 
 __version__ = "1.0.0"
 
@@ -49,6 +58,7 @@ __all__ = [
     "EngineServer",
     "QueryReport",
     "RecordBatch",
+    "ColumnarResult",
     "merge_reports",
     "Query",
     "TableRef",

@@ -271,7 +271,14 @@ def batches_from_row_iter(
 
 
 def concat_batches(batches: Sequence[RecordBatch]) -> RecordBatch:
-    """Concatenate batches into one (field set is the first-seen union)."""
+    """Concatenate batches into one (field set is the first-seen union).
+
+    Float64 views that every input batch has *already* built (or had
+    pre-seeded by a layout) for a column are concatenated along with it, so
+    consumers like the factorized join probe slice one NumPy array instead
+    of re-converting the merged Python list; views are never built here —
+    a column any batch has not converted stays lazy.
+    """
     if len(batches) == 1:
         return batches[0]
     fields: list[str] = []
@@ -287,4 +294,12 @@ def concat_batches(batches: Sequence[RecordBatch]) -> RecordBatch:
         for name in fields:
             columns[name].extend(batch.column(name))
         total += batch.row_count
-    return RecordBatch(columns, row_count=total)
+    merged = RecordBatch(columns, row_count=total)
+    for name in fields:
+        views = [
+            batch._numeric.get(name) if name in batch.columns else None
+            for batch in batches
+        ]
+        if all(view is not None for view in views):
+            merged._numeric[name] = np.concatenate(views)
+    return merged

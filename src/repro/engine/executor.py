@@ -62,7 +62,7 @@ from repro.engine.operators import (
     project_batches,
     project_rows,
 )
-from repro.engine.types import flatten_record
+from repro.engine.types import ColumnarResult, flatten_record
 from repro.formats.datafile import DataSource, DataSourceCatalog
 from repro.layouts import build_layout
 from repro.utils.timing import SampledTimer
@@ -72,7 +72,10 @@ from repro.utils.timing import SampledTimer
 class QueryReport:
     """Per-query execution report returned by the engine."""
 
-    results: list[dict] = field(default_factory=list)
+    #: the query output: a list of row dictionaries by default, or a
+    #: :class:`~repro.engine.types.ColumnarResult` when the query ran with
+    #: ``result_format="columnar"`` (same rows, columnar representation).
+    results: "list[dict] | ColumnarResult" = field(default_factory=list)
     rows_returned: int = 0
     total_time: float = 0.0
     operator_time: float = 0.0
@@ -151,6 +154,25 @@ def execute_plan(plan: PlanNode, ctx: ExecutionContext) -> list[dict]:
     if ctx.config.vectorized_execution:
         return _execute_plan_batched(plan, ctx)
     return _execute_plan_rows(plan, ctx)
+
+
+def execute_plan_columnar(plan: PlanNode, ctx: ExecutionContext) -> ColumnarResult:
+    """Execute a logical plan, returning its output as a :class:`ColumnarResult`.
+
+    The ``result_format="columnar"`` exit: under the batched pipeline the
+    operator tree's :class:`RecordBatch` stream is handed to the caller as-is
+    — no per-row dictionary assembly happens at all.  Aggregate roots (a
+    handful of group rows) and the row interpreter wrap their row output
+    instead, so the knob is valid under either pipeline.  Execution, report
+    counters and cache accounting are byte-identical to the rows exit; only
+    the output representation differs, and ``ColumnarResult.to_rows()``
+    reproduces the rows exit bit for bit.
+    """
+    if not ctx.config.vectorized_execution:
+        return ColumnarResult.from_rows(_execute_plan_rows(plan, ctx))
+    if isinstance(plan, AggregateNode):
+        return ColumnarResult.from_rows(_execute_plan_batched(plan, ctx))
+    return ColumnarResult(_execute_batches(plan, ctx))
 
 
 # ===========================================================================

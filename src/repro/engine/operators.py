@@ -32,6 +32,31 @@ def project_rows(rows: Iterable[dict], fields: Sequence[str]) -> list[dict]:
     return [{name: row.get(name) for name in wanted} for row in rows]
 
 
+def _check_join_columns(
+    left_fields: Iterable[str],
+    right_fields: Iterable[str],
+    left_key: str,
+    right_key: str,
+) -> None:
+    """Reject joins whose sides share column names the merge would overwrite.
+
+    The merged output carries every column of both sides, so the only shared
+    name with well-defined semantics is a join key spelled identically on
+    both sides (its values agree on every matched row).  Any other overlap
+    used to be silently resolved "probe side wins" — wrong data with no
+    warning — and now raises instead.  Both join paths apply the check only
+    when both sides are non-empty: an empty side yields an empty (trivially
+    correct) output, and the row path has no schema to inspect there.
+    """
+    allowed = {left_key} if left_key == right_key else set()
+    overlap = sorted((set(left_fields) & set(right_fields)) - allowed)
+    if overlap:
+        raise ValueError(
+            f"join would silently overwrite overlapping non-key columns {overlap}; "
+            "project or rename them on one side before joining"
+        )
+
+
 def hash_join(
     left_rows: Sequence[dict],
     right_rows: Sequence[dict],
@@ -41,10 +66,13 @@ def hash_join(
     """Equi-join two row lists with a classic build/probe hash join.
 
     The smaller side is used as the build side.  Output rows merge both input
-    rows; on column-name collisions the probe side wins (the paper's TPC-H
-    style schemas have disjoint column names, so collisions do not arise in
-    practice).
+    rows (build-side fields first); the only permitted shared column name is
+    a join key spelled identically on both sides — any other overlap raises
+    ``ValueError`` (checked against the first row of each side; the engine's
+    scans produce uniform field sets per side).
     """
+    if left_rows and right_rows:
+        _check_join_columns(left_rows[0], right_rows[0], left_key, right_key)
     if len(left_rows) <= len(right_rows):
         build_rows, build_key = left_rows, left_key
         probe_rows, probe_key = right_rows, right_key
@@ -146,15 +174,24 @@ def hash_join_batches(
     left_key: str,
     right_key: str,
 ) -> list[RecordBatch]:
-    """Columnar build/probe hash join over two batch streams.
+    """Columnar equi-join over two batch streams with a factorized probe.
 
-    Semantics (build-side choice, null keys dropped, probe side wins name
-    collisions, output ordered by probe position) match :func:`hash_join`
-    exactly; the difference is that rows are never materialized as
-    dictionaries — the join gathers whole columns by index instead.
+    Semantics (build-side choice, null keys dropped, output ordered by probe
+    position with matches in build order, shared join-key names carrying
+    probe values, overlapping non-key columns rejected) match
+    :func:`hash_join` bit for bit.  Mechanically the join is factorized: the
+    build keys are grouped once into dense codes with contiguous row-index
+    slices, the probe resolves whole key columns to those codes — via NumPy
+    ``searchsorted`` over the float64 views when both key columns are
+    numeric, one dict pass otherwise — and the matched (probe, build) row
+    indexes are expanded as arrays, never through per-row list appends.  The
+    output gathers whole columns by those index arrays and re-uses any
+    already-built float64 views of the inputs.
     """
     left = concat_batches(list(left_batches)) if left_batches else RecordBatch({}, 0)
     right = concat_batches(list(right_batches)) if right_batches else RecordBatch({}, 0)
+    if left.row_count and right.row_count:
+        _check_join_columns(left.field_names(), right.field_names(), left_key, right_key)
     if left.row_count <= right.row_count:
         build, build_key = left, left_key
         probe, probe_key = right, right_key
@@ -162,42 +199,186 @@ def hash_join_batches(
         build, build_key = right, right_key
         probe, probe_key = left, left_key
 
-    table: dict[object, list[int]] = {}
-    for index, key in enumerate(build.column(build_key)):
-        if key is None:
-            continue
-        table.setdefault(key, []).append(index)
-
-    build_indexes: list[int] = []
-    probe_indexes: list[int] = []
-    for index, key in enumerate(probe.column(probe_key)):
-        if key is None:
-            continue
-        matches = table.get(key)
-        if not matches:
-            continue
-        build_indexes.extend(matches)
-        probe_indexes.extend([index] * len(matches))
-
-    if not probe_indexes:
+    probe_indexes, build_indexes = _factorized_probe(build, build_key, probe, probe_key)
+    if len(probe_indexes) == 0:
         return []
+    probe_list = probe_indexes.tolist()
+    build_list = build_indexes.tolist()
     # Merged field order mirrors dict(match); merged.update(row): build fields
     # first, probe-only fields appended, shared names carrying probe values.
     build_fields = build.field_names()
     probe_fields = set(probe.field_names())
     columns: dict[str, list] = {}
+    gathered_from: dict[str, tuple[RecordBatch, np.ndarray]] = {}
     for name in build_fields:
         if name in probe_fields:
-            source = probe.column(name)
-            columns[name] = [source[i] for i in probe_indexes]
+            source_batch, indexes, index_list = probe, probe_indexes, probe_list
         else:
-            source = build.column(name)
-            columns[name] = [source[i] for i in build_indexes]
+            source_batch, indexes, index_list = build, build_indexes, build_list
+        source = source_batch.column(name)
+        columns[name] = [source[i] for i in index_list]
+        gathered_from[name] = (source_batch, indexes)
     for name in probe.field_names():
         if name not in columns:
             source = probe.column(name)
-            columns[name] = [source[i] for i in probe_indexes]
-    return [RecordBatch(columns, row_count=len(probe_indexes))]
+            columns[name] = [source[i] for i in probe_list]
+            gathered_from[name] = (probe, probe_indexes)
+    joined = RecordBatch(columns, row_count=len(probe_list))
+    # Numeric views already built on the inputs (layouts pre-seed them, the
+    # probe builds the key views) gather straight into the output, so a
+    # downstream aggregate/filter never re-scans the joined columns.
+    for name, (source_batch, indexes) in gathered_from.items():
+        view = source_batch._numeric.get(name)
+        if view is not None:
+            joined.set_numeric_view(name, view[indexes])
+    return [joined]
+
+
+_NO_MATCHES = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+
+def _factorized_probe(
+    build: RecordBatch, build_key: str, probe: RecordBatch, probe_key: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Matched ``(probe_rows, build_rows)`` index arrays in probe order.
+
+    Every probe row that finds its key in the build side contributes one
+    output slot per matching build row, matches ordered by build position —
+    exactly :func:`hash_join`'s ``table[key]`` list semantics.
+    """
+    if build.row_count == 0 or probe.row_count == 0:
+        return _NO_MATCHES
+    vectorized = _vectorized_key_probe(build, build_key, probe, probe_key)
+    if vectorized is not None:
+        return vectorized
+    return _dict_key_probe(build.column(build_key), probe.column(probe_key))
+
+
+def _key_view(batch: RecordBatch, key: str) -> np.ndarray | None:
+    """A float64 key view usable for vectorized matching, else ``None``.
+
+    Usable means: the column is purely numeric, every NaN slot is a genuine
+    ``None`` (a real ``float('nan')`` data value carries the interpreter's
+    dict-identity semantics, which float equality cannot reproduce), and no
+    magnitude reaches 2**53, beyond which float64 would merge distinct
+    integer keys — the same guards :func:`_factorize_keys` applies for
+    group-by.
+    """
+    view = batch.numeric_view(key)
+    if view is None:
+        return None
+    nan_mask = np.isnan(view)
+    if nan_mask.any():
+        values = batch.column(key)
+        if not all(values[i] is None for i in np.nonzero(nan_mask)[0].tolist()):
+            return None
+        valid = view[~nan_mask]
+        if len(valid) and np.abs(valid).max() >= 2**53:
+            return None
+    elif len(view) and np.abs(view).max() >= 2**53:
+        return None
+    return view
+
+
+def _vectorized_key_probe(
+    build: RecordBatch, build_key: str, probe: RecordBatch, probe_key: str
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """The NumPy probe over numeric key columns, or ``None`` to take the
+    dict pass (mixed/string/huge/NaN-valued keys).
+
+    Float64 equality merges ``1``/``1.0``/``True`` exactly like dict hashing
+    does, so matching ``searchsorted`` positions on the sorted unique build
+    keys reproduces the interpreter's lookups; a stable argsort keeps each
+    key group's build rows in build order.
+    """
+    build_view = _key_view(build, build_key)
+    probe_view = _key_view(probe, probe_key)
+    if build_view is None or probe_view is None:
+        return None
+    build_valid = ~np.isnan(build_view)
+    probe_valid = ~np.isnan(probe_view)
+    build_values = build_view[build_valid]
+    probe_values = probe_view[probe_valid]
+    if len(build_values) == 0 or len(probe_values) == 0:
+        return _NO_MATCHES
+    build_rows = np.nonzero(build_valid)[0]
+    order = np.argsort(build_values, kind="stable")
+    sorted_values = build_values[order]
+    sorted_rows = build_rows[order]
+    unique_values, group_starts = np.unique(sorted_values, return_index=True)
+    group_counts = np.diff(np.append(group_starts, len(sorted_values)))
+
+    probe_rows = np.nonzero(probe_valid)[0]
+    positions = np.searchsorted(unique_values, probe_values)
+    positions = np.minimum(positions, len(unique_values) - 1)
+    matched = unique_values[positions] == probe_values
+    groups = positions[matched]
+    return _expand_matches(
+        probe_rows[matched], group_starts[groups], group_counts[groups], sorted_rows
+    )
+
+
+def _dict_key_probe(build_keys: list, probe_keys: list) -> tuple[np.ndarray, np.ndarray]:
+    """One dict pass per side — the interpreter's own key semantics (object
+    hashing, identity-sensitive NaN) — with the match expansion still done
+    as arrays instead of per-row list appends."""
+    codes_by_key: dict = {}
+    slot_rows: list[list[int]] = []
+    for index, key in enumerate(build_keys):
+        if key is None:
+            continue
+        code = codes_by_key.get(key)
+        if code is None:
+            codes_by_key[key] = code = len(slot_rows)
+            slot_rows.append([])
+        slot_rows[code].append(index)
+
+    lookup = codes_by_key.get
+    probe_rows: list[int] = []
+    probe_codes: list[int] = []
+    for index, key in enumerate(probe_keys):
+        if key is None:
+            continue
+        code = lookup(key)
+        if code is not None:
+            probe_rows.append(index)
+            probe_codes.append(code)
+    if not probe_rows:
+        return _NO_MATCHES
+
+    counts = np.fromiter(map(len, slot_rows), dtype=np.int64, count=len(slot_rows))
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    flat_rows = np.fromiter(
+        (row for rows in slot_rows for row in rows), dtype=np.int64, count=int(counts.sum())
+    )
+    codes = np.asarray(probe_codes, dtype=np.int64)
+    return _expand_matches(
+        np.asarray(probe_rows, dtype=np.int64), starts[codes], counts[codes], flat_rows
+    )
+
+
+def _expand_matches(
+    probe_rows: np.ndarray,
+    match_starts: np.ndarray,
+    match_counts: np.ndarray,
+    grouped_build_rows: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-probe-row group slices into aligned output index arrays.
+
+    ``grouped_build_rows`` holds the build rows grouped by key (each group a
+    contiguous ``starts``/``counts`` slice in build order); the expansion
+    repeats each probe row by its group size and enumerates the group slice
+    with one ``arange`` — the vectorized equivalent of the interpreter's
+    "for match in matches: append" inner loop.
+    """
+    total = int(match_counts.sum())
+    if total == 0:
+        return _NO_MATCHES
+    probe_indexes = np.repeat(probe_rows, match_counts)
+    ends = np.cumsum(match_counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - match_counts, match_counts)
+    build_indexes = grouped_build_rows[np.repeat(match_starts, match_counts) + offsets]
+    return probe_indexes, build_indexes
 
 
 def aggregate_batches(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.config import validate_result_format
 from repro.engine.expressions import AggregateSpec, Expression
 
 
@@ -48,8 +49,15 @@ class Query:
     group_by: list[str] = field(default_factory=list)
     #: optional label used by workload generators and reports
     label: str = ""
+    #: per-query output representation override: ``"rows"``, ``"columnar"``,
+    #: or ``None`` to follow ``ReCacheConfig.result_format``.  Deliberately
+    #: NOT part of :meth:`signature`: the format only shapes the exit
+    #: representation, so the serving tier coalesces identical queries across
+    #: formats and converts each duplicate's copy to its requested type.
+    result_format: str | None = None
 
     def __post_init__(self) -> None:
+        validate_result_format(self.result_format, allow_none=True)
         if not self.tables:
             raise ValueError("a query needs at least one table")
         sources = {t.source for t in self.tables}

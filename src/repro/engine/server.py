@@ -23,6 +23,14 @@ Two submission paths:
   warmed.  Per-query futures resolve as results complete, not when the whole
   batch finishes.
 
+Result formats: every submission path accepts a ``result_format`` override
+(``"rows"`` / ``"columnar"`` / ``None`` for the query's own or the engine's
+default; ``submit_batch`` additionally takes a per-query sequence).  The
+format is resolved per submission and threaded through grouping and
+coalescing: identical queries coalesce *across* formats — the format shapes
+only the exit representation, not execution — and each duplicate's report
+carries the shared result converted to its requested type.
+
 Backpressure: the server admits at most ``max_pending_queries`` queries into
 its queue; further ``submit``/``submit_batch`` calls block until workers drain
 the backlog (a batch is admitted atomically once the depth falls below the
@@ -45,12 +53,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
-from repro.core.config import ReCacheConfig
+from repro.core.config import ReCacheConfig, validate_result_format
 from repro.engine.executor import QueryReport
 from repro.engine.expressions import RangePredicate
 from repro.engine.query import Query
 from repro.engine.session import QueryEngine
-from repro.engine.types import RecordType
+from repro.engine.types import ColumnarResult, RecordType
 from repro.formats.datafile import DataSource
 
 
@@ -97,6 +105,9 @@ class _Submission:
     future: "Future[QueryReport]"
     enqueued_at: float
     queue_depth: int
+    #: resolved output representation for THIS request ("rows" / "columnar");
+    #: duplicates of one execution may each request a different format.
+    result_format: str = "rows"
 
 
 @dataclass
@@ -125,6 +136,25 @@ def _coalesce(submissions: Sequence[_Submission]) -> list[_Execution]:
             executions.append(execution)
         execution.submissions.append(submission)
     return executions
+
+
+def _convert_results(
+    results: "list[dict] | ColumnarResult", result_format: str
+) -> "list[dict] | ColumnarResult":
+    """One execution's result set in the representation a submission asked for.
+
+    Coalescing works across result formats (the format is not part of the
+    query signature), so a duplicate may request a different representation
+    than the primary execution produced; the conversion is loss-free in both
+    directions (``ColumnarResult.to_rows`` is the exact rows exit).
+    """
+    if result_format == "columnar":
+        if isinstance(results, ColumnarResult):
+            return results
+        return ColumnarResult.from_rows(results)
+    if isinstance(results, ColumnarResult):
+        return results.to_rows()
+    return results
 
 
 def _interval_of(query: Query) -> tuple[str, float, float] | None:
@@ -251,27 +281,61 @@ class EngineServer:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def submit(self, query: Query, *, vectorized: bool | None = None) -> "Future[QueryReport]":
+    def submit(
+        self,
+        query: Query,
+        *,
+        vectorized: bool | None = None,
+        result_format: str | None = None,
+    ) -> "Future[QueryReport]":
         """Queue one query for execution; returns a future for its report.
 
         ``vectorized`` optionally overrides the engine's execution pipeline
-        (batched vs interpreted) for this request only.  Blocks while the
-        pending queue is at ``max_pending``.
+        (batched vs interpreted) and ``result_format`` the output
+        representation (``"rows"`` / ``"columnar"``) for this request only.
+        Blocks while the pending queue is at ``max_pending``.
         """
-        return self.submit_batch([query], vectorized=vectorized)[0]
+        return self.submit_batch([query], vectorized=vectorized, result_format=result_format)[0]
+
+    def _resolve_format(self, query: Query, override: str | None) -> str:
+        """One submission's effective output format (explicit > query > config)."""
+        result_format = override or query.result_format or self.engine.config.result_format
+        validate_result_format(result_format)
+        return result_format
 
     def submit_batch(
-        self, queries: Sequence[Query], *, vectorized: bool | None = None
+        self,
+        queries: Sequence[Query],
+        *,
+        vectorized: bool | None = None,
+        result_format: "str | Sequence[str | None] | None" = None,
     ) -> "list[Future[QueryReport]]":
         """Queue a batch of queries; returns one future per query, in order.
 
         The batch is coalesced and grouped by source/predicate overlap before
         hitting the worker pool (see the module docstring); futures resolve
-        individually as their results complete.
+        individually as their results complete.  ``result_format`` is either
+        one value for the whole batch or a per-query sequence (aligned with
+        ``queries``, ``None`` entries falling back to each query's own /
+        the engine's default); duplicates still coalesce across formats and
+        each future resolves with its requested representation.
         """
         queries = list(queries)
         if not queries:
             return []
+        if result_format is None or isinstance(result_format, str):
+            format_overrides: list[str | None] = [result_format] * len(queries)
+        else:
+            format_overrides = list(result_format)
+            if len(format_overrides) != len(queries):
+                raise ValueError(
+                    f"result_format length {len(format_overrides)} != "
+                    f"query count {len(queries)}"
+                )
+        formats = [
+            self._resolve_format(query, override)
+            for query, override in zip(queries, format_overrides)
+        ]
         enqueued_at = time.perf_counter()
         with self._backpressure:
             if self._closed:
@@ -285,7 +349,8 @@ class EngineServer:
             if self._pending > self.peak_queue_depth:
                 self.peak_queue_depth = self._pending
             submissions = [
-                _Submission(query, Future(), enqueued_at, depth) for query in queries
+                _Submission(query, Future(), enqueued_at, depth, result_format=fmt)
+                for query, fmt in zip(queries, formats)
             ]
             for group in group_batch(_coalesce(submissions)):
                 # Submitted under the lifecycle lock: a concurrent shutdown
@@ -295,10 +360,14 @@ class EngineServer:
         return [submission.future for submission in submissions]
 
     def serve_all(
-        self, queries: Sequence[Query], *, vectorized: bool | None = None
+        self,
+        queries: Sequence[Query],
+        *,
+        vectorized: bool | None = None,
+        result_format: "str | Sequence[str | None] | None" = None,
     ) -> list[QueryReport]:
         """Submit a batch and wait for every report (submission order)."""
-        futures = self.submit_batch(queries, vectorized=vectorized)
+        futures = self.submit_batch(queries, vectorized=vectorized, result_format=result_format)
         return [future.result() for future in futures]
 
     def _serve_group(self, group: Sequence[_Execution], vectorized: bool | None) -> None:
@@ -327,6 +396,9 @@ class EngineServer:
         self.engine.execute_group(
             [execution.query for execution in group],
             vectorized=vectorized,
+            # The primary submission's format drives the execution; coalesced
+            # duplicates get their own converted copies when they resolve.
+            result_formats=[execution.submissions[0].result_format for execution in group],
             on_report=resolve,
             on_error=fail,
         )
@@ -346,8 +418,16 @@ class EngineServer:
                 self.response_hook(report)
             primary.future.set_result(report)
             resolved_at = time.perf_counter()
+            # Cross-format conversion happens once per distinct requested
+            # format, not once per duplicate — N rows-format duplicates of a
+            # columnar execution share one to_rows() materialization.
+            converted = {primary.result_format: report.results}
             for submission in execution.submissions[1:]:
-                copy = self._coalesced_report(report, submission, resolved_at)
+                results = converted.get(submission.result_format)
+                if results is None:
+                    results = _convert_results(report.results, submission.result_format)
+                    converted[submission.result_format] = results
+                copy = self._coalesced_report(report, submission, resolved_at, results)
                 if self.response_hook is not None:
                     self.response_hook(copy)
                 submission.future.set_result(copy)
@@ -361,17 +441,23 @@ class EngineServer:
 
     @staticmethod
     def _coalesced_report(
-        report: QueryReport, submission: _Submission, resolved_at: float
+        report: QueryReport,
+        submission: _Submission,
+        resolved_at: float,
+        results: "list[dict] | ColumnarResult",
     ) -> QueryReport:
         """The report of a request served from another request's execution.
 
-        Carries the shared result rows but none of the execution counters —
-        the engine did no work for this request — so a merged serving window
-        still reflects actual cache traffic, with ``coalesced`` counting the
-        piggybacked requests.
+        Carries the shared result set — already converted by the caller to
+        the submission's own ``result_format`` when it differs from the
+        primary's — but none of the execution counters: the engine did no
+        work for this request, so a merged serving window still reflects
+        actual cache traffic, with ``coalesced`` counting the piggybacked
+        requests.  Each duplicate gets its own report object; only the
+        result data is shared.
         """
         copy = QueryReport(label=report.label)
-        copy.results = report.results
+        copy.results = results
         copy.rows_returned = report.rows_returned
         copy.queue_wait_time = resolved_at - submission.enqueued_at
         copy.queue_depth = submission.queue_depth

@@ -16,9 +16,14 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.core.cache_manager import ReCache
-from repro.core.config import ReCacheConfig
+from repro.core.config import ReCacheConfig, validate_result_format
 from repro.core.sharded_cache import ShardedReCache
-from repro.engine.executor import ExecutionContext, QueryReport, execute_plan
+from repro.engine.executor import (
+    ExecutionContext,
+    QueryReport,
+    execute_plan,
+    execute_plan_columnar,
+)
 from repro.engine.optimizer import PlanInfo, build_plan
 from repro.engine.query import Query
 from repro.engine.types import RecordType
@@ -74,16 +79,32 @@ class QueryEngine:
         """Build (but do not execute) the cache-aware plan for a query."""
         return build_plan(query, self.catalog, self.recache)
 
-    def execute(self, query: Query, *, vectorized: bool | None = None) -> QueryReport:
+    def execute(
+        self,
+        query: Query,
+        *,
+        vectorized: bool | None = None,
+        result_format: str | None = None,
+    ) -> QueryReport:
         """Execute a query and return its results plus execution report.
 
         ``vectorized`` overrides ``config.vectorized_execution`` for this one
         query (the parity tests and the batch-pipeline bench compare the two
-        pipelines over the same engine this way).
+        pipelines over the same engine this way).  ``result_format`` likewise
+        overrides the output representation for this one query: ``"rows"``
+        (the default list of row dictionaries) or ``"columnar"`` (a
+        :class:`~repro.engine.types.ColumnarResult` carrying the batched
+        pipeline's record batches with no per-row dict assembly at the exit).
+        Resolution order: explicit argument, then ``query.result_format``,
+        then ``config.result_format``.  Execution, report counters and cache
+        behaviour are identical in both formats.
         """
         config = self.config
         if vectorized is not None and vectorized != config.vectorized_execution:
             config = config.with_overrides(vectorized_execution=vectorized)
+        if result_format is None:
+            result_format = query.result_format or config.result_format
+        validate_result_format(result_format)
         report = QueryReport(label=query.label)
         sequence = self.recache.begin_query()
         started = time.perf_counter()
@@ -97,7 +118,10 @@ class QueryEngine:
             sequence=sequence,
             query_started=started,
         )
-        results = execute_plan(plan_info.plan, ctx)
+        if result_format == "columnar":
+            results = execute_plan_columnar(plan_info.plan, ctx)
+        else:
+            results = execute_plan(plan_info.plan, ctx)
 
         report.results = results
         report.rows_returned = len(results)
@@ -111,6 +135,7 @@ class QueryEngine:
         queries: Sequence[Query],
         *,
         vectorized: bool | None = None,
+        result_formats: "Sequence[str | None] | str | None" = None,
         on_report: Callable[[Query, QueryReport], None] | None = None,
         on_error: Callable[[Query, Exception], None] | None = None,
     ) -> list["QueryReport | None"]:
@@ -126,11 +151,26 @@ class QueryEngine:
         query is isolated when ``on_error`` is given: the exception goes to the
         callback, its report slot is ``None``, and the rest of the group still
         executes; without the callback the exception propagates.
+
+        ``result_formats`` selects each query's output representation: one
+        string applies to the whole group, a sequence (aligned with
+        ``queries``) carries per-query overrides — the serving tier uses the
+        latter so one group can mix ``"rows"`` and ``"columnar"`` requests.
         """
+        if result_formats is None or isinstance(result_formats, str):
+            formats: list[str | None] = [result_formats] * len(queries)
+        else:
+            formats = list(result_formats)
+            if len(formats) != len(queries):
+                raise ValueError(
+                    f"result_formats length {len(formats)} != query count {len(queries)}"
+                )
         reports: list[QueryReport | None] = []
-        for query in queries:
+        for query, result_format in zip(queries, formats):
             try:
-                report = self.execute(query, vectorized=vectorized)
+                report = self.execute(
+                    query, vectorized=vectorized, result_format=result_format
+                )
             except Exception as exc:
                 if on_error is None:
                     raise

@@ -1,4 +1,4 @@
-"""Nested data model shared by the raw-format plugins, layouts and operators.
+"""Shared engine types: the nested data model and result containers.
 
 The paper's substrate (Proteus) expresses heterogeneous data through a nested
 data model: records whose fields are atoms, lists, or further records.  The
@@ -10,12 +10,22 @@ classes here mirror that model and provide the schema utilities ReCache needs:
   ones — the distinction that drives the Parquet-vs-columnar layout decision,
 * computing the *flattened* relational schema obtained by the flattening
   transformation described in Section 4 of the paper.
+
+The module also defines :class:`ColumnarResult`, the columnar query-output
+container returned when a query opts into ``result_format="columnar"``: the
+batched pipeline's :class:`~repro.engine.batch.RecordBatch` stream carried to
+the caller without the per-row dictionary materialization tax at the pipeline
+exit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.engine.batch import RecordBatch, rows_from_batches
 
 
 class DataType:
@@ -263,3 +273,110 @@ def _fill_element(row: dict, prefix: str, dtype: DataType, element) -> None:
         _fill_element(row, prefix, dtype.element, elements[0])
         return
     raise TypeError(f"unsupported data type: {dtype!r}")
+
+
+class ColumnarResult:
+    """Columnar query output backed by the pipeline's record batches.
+
+    Returned in place of the row-dictionary list when a query runs with
+    ``result_format="columnar"``: the batched executor hands its
+    :class:`~repro.engine.batch.RecordBatch` stream to the caller directly, so
+    ``rows_returned``-heavy queries skip the one-dict-per-row materialization
+    at the pipeline exit entirely.  Consumers read whole columns
+    (:meth:`column` / :meth:`numeric_column`) instead of iterating rows.
+
+    Parity contract: :meth:`to_rows` reproduces the default row output *bit
+    for bit* — same per-batch field sets, same row order, same value objects —
+    which is what the parity fuzz harness asserts.  Execution, reports and
+    cache accounting are identical in both formats; only the exit
+    representation differs.
+    """
+
+    __slots__ = ("_batches",)
+
+    def __init__(self, batches: Sequence["RecordBatch"]) -> None:
+        self._batches = [batch for batch in batches if batch.row_count]
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[dict]) -> "ColumnarResult":
+        """Wrap row dictionaries (aggregate outputs, the row interpreter).
+
+        The wrap is the inverse of :meth:`to_rows`: round-tripping reproduces
+        the input rows exactly (aggregate outputs and interpreter rows are
+        uniform in their field sets, so no ``None`` padding is introduced).
+        """
+        if not rows:
+            return cls([])
+        return cls([RecordBatch.from_rows(list(rows))])
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return sum(batch.row_count for batch in self._batches)
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    @property
+    def batches(self) -> list["RecordBatch"]:
+        """The underlying record batches (shared, not copied)."""
+        return list(self._batches)
+
+    def field_names(self) -> list[str]:
+        """First-seen union of the batches' field names."""
+        names: list[str] = []
+        seen: set[str] = set()
+        for batch in self._batches:
+            for name in batch.columns:
+                if name not in seen:
+                    seen.add(name)
+                    names.append(name)
+        return names
+
+    # ------------------------------------------------------------------
+    # Columnar access
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> list:
+        """One result column across all batches (missing fields read ``None``)."""
+        values: list = []
+        for batch in self._batches:
+            values.extend(batch.column(name))
+        return values
+
+    def numeric_column(self, name: str) -> "np.ndarray | None":
+        """A float64 view of one column, or ``None`` when not purely numeric.
+
+        Mirrors :meth:`RecordBatch.numeric_view` (``None`` becomes NaN), so a
+        caller can run further NumPy reductions on the result without ever
+        materializing rows.  The returned array is read-only: a single-batch
+        result may alias a cache layout's internal column array (batches flow
+        out of warm scans by reference), and an in-place write through that
+        alias would silently corrupt the cached data for every later query.
+        """
+        views = []
+        for batch in self._batches:
+            view = batch.numeric_view(name)
+            if view is None:
+                return None
+            views.append(view)
+        if not views:
+            return None
+        merged = views[0].view() if len(views) == 1 else np.concatenate(views)
+        merged.flags.writeable = False
+        return merged
+
+    # ------------------------------------------------------------------
+    # Row materialization (the parity exit)
+    # ------------------------------------------------------------------
+    def to_rows(self) -> list[dict]:
+        """The exact row-dictionary output of ``result_format="rows"``."""
+        return rows_from_batches(self._batches)
+
+    def iter_rows(self) -> Iterator[dict]:
+        for batch in self._batches:
+            yield from batch.iter_rows()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ColumnarResult(rows={self.row_count}, fields={len(self.field_names())})"

@@ -429,6 +429,78 @@ class TestNumpyGroupBy:
         assert aggregate_batches([], compile_aggregates(self._specs()), ["g"]) == []
 
 
+class TestColumnarResult:
+    """The columnar exit container: row parity, column access, wrapping."""
+
+    def _result(self):
+        from repro import ColumnarResult
+
+        batches = [
+            RecordBatch.from_rows([{"a": 1, "b": 0.5}, {"a": 2, "b": None}], ["a", "b"]),
+            RecordBatch.from_rows([{"a": 3, "b": 2.5}], ["a", "b"]),
+        ]
+        return ColumnarResult(batches)
+
+    def test_to_rows_matches_rows_from_batches_bit_for_bit(self):
+        result = self._result()
+        assert result.to_rows() == [
+            {"a": 1, "b": 0.5},
+            {"a": 2, "b": None},
+            {"a": 3, "b": 2.5},
+        ]
+        assert list(result.iter_rows()) == result.to_rows()
+        assert len(result) == result.row_count == 3
+
+    def test_column_access_spans_batches(self):
+        result = self._result()
+        assert result.field_names() == ["a", "b"]
+        assert result.column("a") == [1, 2, 3]
+        assert result.column("missing") == [None, None, None]
+        numeric = result.numeric_column("b")
+        assert numeric is not None and numeric.shape == (3,)
+        assert np.isnan(numeric[1]) and numeric[2] == 2.5
+
+    def test_numeric_column_is_read_only_and_never_aliases_writably(self):
+        """A single-batch result can alias a cache layout's internal array;
+        the exposed view must reject in-place writes (silent cache corruption
+        otherwise)."""
+        from repro import ColumnarResult
+
+        batch = RecordBatch.from_rows([{"b": 1.0}, {"b": 2.0}], ["b"])
+        backing = batch.numeric_view("b")
+        result = ColumnarResult([batch])
+        view = result.numeric_column("b")
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0] = 99.0
+        assert backing[0] == 1.0 and backing.flags.writeable  # pipeline view untouched
+        multi = self._result().numeric_column("b")
+        assert not multi.flags.writeable
+
+    def test_non_numeric_column_has_no_view(self):
+        from repro import ColumnarResult
+
+        result = ColumnarResult([RecordBatch.from_rows([{"s": "x"}], ["s"])])
+        assert result.numeric_column("s") is None
+        assert ColumnarResult([]).numeric_column("s") is None
+
+    def test_from_rows_roundtrip_and_empty(self):
+        from repro import ColumnarResult
+
+        rows = [{"a": 1, "b": "x"}, {"a": None, "b": "y"}]
+        assert ColumnarResult.from_rows(rows).to_rows() == rows
+        empty = ColumnarResult.from_rows([])
+        assert empty.to_rows() == [] and len(empty) == 0 and not empty.batches
+
+    def test_empty_batches_are_dropped_but_batches_are_shared(self):
+        from repro import ColumnarResult
+
+        batch = RecordBatch.from_rows([{"a": 1}], ["a"])
+        result = ColumnarResult([RecordBatch({}, 0), batch])
+        assert result.batches == [batch]
+        assert result.batches[0] is batch
+
+
 class TestRecordBatch:
     def test_take_project_and_rows_roundtrip(self):
         rows = [{"a": i, "b": i * 0.5} for i in range(10)]
@@ -463,6 +535,16 @@ class TestRecordBatch:
         merged = concat_batches([left, right])
         assert merged.column("a") == [1, 2, 3]
         assert merged.column("b") == [None, None, "x"]
+
+    def test_concat_propagates_fully_built_numeric_views(self):
+        left = RecordBatch({"a": [1, 2], "b": [1.0, 2.0]})
+        right = RecordBatch({"a": [3], "b": [3.0]})
+        for batch in (left, right):
+            batch.numeric_view("a")
+        merged = concat_batches([left, right])
+        assert merged._numeric["a"].tolist() == [1.0, 2.0, 3.0]
+        # A column not converted on every input stays lazy (never built here).
+        assert "b" not in merged._numeric
 
     def test_ragged_columns_rejected(self):
         with pytest.raises(ValueError):

@@ -5,11 +5,19 @@ division, null-heavy columns included), varying projections, equi-joins and
 grouped aggregates — run against engines pinned to each of the three cache
 layouts, once with ``vectorized_execution`` on and once with it off, asserting
 identical results, per-query report counters and end-state cache counters.
+Every seeded query additionally runs with ``result_format="columnar"`` on a
+third identically-configured engine, asserting that ``to_rows()`` reproduces
+the row output bit for bit, and a join-heavy class stresses the factorized
+hash-join probe (numeric and string keys, null keys, rows-heavy plain-select
+joins) the same three-way way.
 
-The default (CI smoke) run executes a fixed-seed subset of
-``PARITY_FUZZ_QUERIES`` queries per layout (100 x 3 = 300 total, above the
->= 200-query acceptance bar); set the ``RECACHE_PARITY_FUZZ_QUERIES``
-environment variable to fuzz harder locally.
+The default (CI) run executes a fixed-seed subset of ``PARITY_FUZZ_QUERIES``
+queries per layout (100 x 3 = 300 total for the main class, above the
+>= 200-query acceptance bar) plus ``PARITY_FUZZ_JOIN_QUERIES`` join-heavy
+queries per flat layout; set the ``RECACHE_PARITY_FUZZ_QUERIES`` /
+``RECACHE_PARITY_FUZZ_JOIN_QUERIES`` environment variables to fuzz harder in
+a nightly/full run (only those runs should raise the counts — CI stays at
+the defaults).
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ import random
 
 import pytest
 
-from repro import Query, QueryEngine, ReCacheConfig
+from repro import ColumnarResult, Query, QueryEngine, ReCacheConfig
 from repro.engine.expressions import (
     AggregateSpec,
     And,
@@ -39,6 +47,9 @@ from repro.workloads.tpch import ORDER_LINEITEMS_SCHEMA
 from tests.test_batch_execution import _cache_counters, _canonical, _report_counters
 
 PARITY_FUZZ_QUERIES = int(os.environ.get("RECACHE_PARITY_FUZZ_QUERIES", "100"))
+PARITY_FUZZ_JOIN_QUERIES = int(
+    os.environ.get("RECACHE_PARITY_FUZZ_JOIN_QUERIES", str(max(10, PARITY_FUZZ_QUERIES // 2)))
+)
 FUZZ_SEED = 20260729
 
 EVENTS_SCHEMA = RecordType(
@@ -233,6 +244,38 @@ def _random_query(rng: random.Random, index: int) -> Query:
     )
 
 
+def _random_join_query(rng: random.Random, index: int) -> Query:
+    """A join-heavy query: every query joins ``events`` with ``dims``.
+
+    Exercises both probe paths of the factorized hash join — the numeric
+    ``bucket = key`` equi-join (searchsorted probe) and the nullable string
+    ``name = label`` equi-join (dict-pass probe) — plus rows-heavy plain
+    select-project joins where the whole merged row set reaches the pipeline
+    exit (the columnar-result sweet spot).
+    """
+    left = _random_predicate(rng, EVENT_RANGES, ["name"]) if rng.random() < 0.8 else None
+    right = _random_range(rng, "weight", {"weight": (0.0, 5.0)}) if rng.random() < 0.5 else None
+    if rng.random() < 0.3:
+        # String keys: ~15% of events have a null name, every label is set.
+        join = JoinSpec("events", "name", "dims", "label")
+    else:
+        join = JoinSpec("events", "bucket", "dims", "key")
+    tables = [TableRef("events", left), TableRef("dims", right)]
+    if rng.random() < 0.4:  # plain select-project join, no aggregation
+        return Query(tables=tables, joins=[join], label=f"fuzz-join-select-{index}")
+    aggregates = _random_aggregates(rng, ["value", "id", "weight"], ["label", "name"])
+    group_by = []
+    if rng.random() < 0.35:
+        group_by = [rng.choice(["bucket", "label"])]
+    return Query(
+        tables=tables,
+        joins=[join],
+        aggregates=aggregates,
+        group_by=group_by,
+        label=f"fuzz-join-heavy-{index}",
+    )
+
+
 # ---------------------------------------------------------------------------
 # The harness
 # ---------------------------------------------------------------------------
@@ -241,16 +284,24 @@ def _layout_seed_offset(layout: str) -> int:
     return sorted(LAYOUT_CONFIGS).index(layout) + 1
 
 
-@pytest.mark.parametrize("layout", sorted(LAYOUT_CONFIGS))
-def test_parity_fuzz(fuzz_dataset_dir, layout):
-    """Batched and interpreted execution agree on a seeded random workload."""
-    rng = random.Random(FUZZ_SEED + _layout_seed_offset(layout))
+def _run_three_way_parity(fuzz_dataset_dir, layout, make_query, count, seed_offset=0):
+    """The shared three-engine differential loop.
+
+    ``batched`` vs ``interpreted`` is the classic pipeline parity check;
+    ``columnar`` is a third identically-configured batched engine whose every
+    query runs with ``result_format="columnar"`` and must reproduce the
+    batched row output bit for bit via ``to_rows()`` while reporting the same
+    counters — proving the exit format changes the representation only.
+    """
+    rng = random.Random(FUZZ_SEED + _layout_seed_offset(layout) + seed_offset)
     batched = _build_engine(fuzz_dataset_dir, True, LAYOUT_CONFIGS[layout])
     interpreted = _build_engine(fuzz_dataset_dir, False, LAYOUT_CONFIGS[layout])
-    for index in range(PARITY_FUZZ_QUERIES):
-        query = _random_query(rng, index)
+    columnar = _build_engine(fuzz_dataset_dir, True, LAYOUT_CONFIGS[layout])
+    for index in range(count):
+        query = make_query(rng, index)
         batched_report = batched.execute(query)
         interpreted_report = interpreted.execute(query)
+        columnar_report = columnar.execute(query, result_format="columnar")
         assert _canonical(batched_report.results) == _canonical(interpreted_report.results), (
             f"[{layout}] result mismatch on query #{index} ({query.label}): "
             f"{query.signature()}"
@@ -258,7 +309,40 @@ def test_parity_fuzz(fuzz_dataset_dir, layout):
         assert _report_counters(batched_report) == _report_counters(interpreted_report), (
             f"[{layout}] report mismatch on query #{index} ({query.label})"
         )
+        assert isinstance(columnar_report.results, ColumnarResult), query.label
+        assert columnar_report.results.to_rows() == batched_report.results, (
+            f"[{layout}] columnar-result mismatch on query #{index} ({query.label}): "
+            f"{query.signature()}"
+        )
+        assert _report_counters(columnar_report) == _report_counters(batched_report), (
+            f"[{layout}] columnar report mismatch on query #{index} ({query.label})"
+        )
     assert _cache_counters(batched) == _cache_counters(interpreted)
+    assert _cache_counters(columnar) == _cache_counters(batched)
+
+
+@pytest.mark.parametrize("layout", sorted(LAYOUT_CONFIGS))
+def test_parity_fuzz(fuzz_dataset_dir, layout):
+    """Batched, interpreted and columnar-result execution agree on a seeded
+    random workload."""
+    _run_three_way_parity(fuzz_dataset_dir, layout, _random_query, PARITY_FUZZ_QUERIES)
+
+
+@pytest.mark.parametrize("layout", ["columnar", "row"])
+def test_parity_fuzz_join_heavy(fuzz_dataset_dir, layout):
+    """The factorized hash-join probe agrees with the interpreted join (and
+    its columnar exit with the rows exit) on a join-only seeded workload.
+
+    Joins here run between the two flat CSV sources, so the flat layouts are
+    the interesting axis (the nested default never participates).
+    """
+    _run_three_way_parity(
+        fuzz_dataset_dir,
+        layout,
+        _random_join_query,
+        PARITY_FUZZ_JOIN_QUERIES,
+        seed_offset=101,
+    )
 
 
 def test_fuzz_workload_exercises_the_interesting_shapes(fuzz_dataset_dir):
@@ -296,6 +380,18 @@ def test_fuzz_workload_exercises_the_interesting_shapes(fuzz_dataset_dir):
     assert any("." in field for query in queries for field in _query_fields(query)), (
         "no nested-attribute query"
     )
+
+
+def test_join_fuzz_workload_exercises_both_probe_paths():
+    """The join-heavy seed hits the searchsorted AND dict probe paths."""
+    rng = random.Random(FUZZ_SEED + _layout_seed_offset("columnar") + 101)
+    queries = [_random_join_query(rng, index) for index in range(PARITY_FUZZ_JOIN_QUERIES)]
+    key_pairs = {(q.joins[0].left_key, q.joins[0].right_key) for q in queries}
+    assert ("bucket", "key") in key_pairs, "no numeric-key join (vectorized probe)"
+    assert ("name", "label") in key_pairs, "no string-key join (dict probe, null keys)"
+    assert any(not query.aggregates for query in queries), "no rows-heavy select join"
+    assert any(query.group_by for query in queries), "no grouped join aggregate"
+    assert any(query.tables[0].predicate is None for query in queries), "no full-scan side"
 
 
 def _query_fields(query: Query) -> set[str]:
