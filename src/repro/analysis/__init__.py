@@ -1,0 +1,17 @@
+"""recheck-lint: self-hosted concurrency/dtype invariant checking.
+
+The package has two halves:
+
+* a static pass (``python -m repro.analysis.lint src``) that parses the
+  tree with :mod:`ast` and enforces declared invariants — guarded-by lock
+  discipline, lock acquisition order, no heavy work under locks, future
+  resolution on every path, and flat-view dtype purity;
+* a runtime lock-order watchdog (:mod:`repro.analysis.lock_watchdog`)
+  that wraps ``threading.Lock``/``RLock`` under tests and records
+  per-thread acquisition stacks — a tsan-lite for orderings the static
+  pass cannot see through indirection.
+"""
+
+from repro.analysis.common import Violation
+
+__all__ = ["Violation"]

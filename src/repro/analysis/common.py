@@ -1,0 +1,218 @@
+"""Shared infrastructure for the recheck-lint static pass.
+
+Parses modules once (AST + per-line comments via :mod:`tokenize`) and
+collects the concurrency declarations the rules consume:
+
+* ``GUARDED_BY = {"_field": "_lock", ...}`` class attributes (merged
+  across bases, resolved by class name);
+* ``LOCK_ALIASES = {"_backpressure": "_lifecycle"}`` class attributes for
+  objects such as ``threading.Condition(lock)`` that acquire another
+  attribute's lock;
+* ``# guarded-by: self._lock`` trailing comments on ``__init__``
+  assignments, the lightweight alternative to ``GUARDED_BY``;
+* ``# caller-holds: self._lock`` trailing comments on ``def`` lines for
+  internal methods documented as lock-held;
+* ``# unguarded-read: ...`` trailing comments blessing a deliberate
+  lock-free read (GIL-atomic int/reference loads);
+* ``# recheck-lint: allow(<rule>)`` generic per-line suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import contextlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_ALLOW_RE = re.compile(r"recheck-lint:\s*allow\(([\w,\s-]+)\)")
+_GUARDED_COMMENT_RE = re.compile(r"guarded-by:\s*self\.(\w+)")
+_CALLER_HOLDS_RE = re.compile(r"caller-holds:\s*self\.(\w+)")
+_UNGUARDED_READ_RE = re.compile(r"unguarded-read")
+
+
+@dataclass
+class Violation:
+    """One finding: a rule name, a location, and a human-readable message."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Module:
+    """A parsed source file: AST plus the comment text of every line."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    comments: dict[int, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path) -> "Module":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        comments: dict[int, str] = {}
+        # TokenError cannot happen after ast.parse succeeded; guarded anyway.
+        with contextlib.suppress(tokenize.TokenError):
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    comments[token.start[0]] = token.string
+        return cls(path=path, source=source, tree=tree, comments=comments)
+
+    def comment(self, line: int) -> str:
+        return self.comments.get(line, "")
+
+    def allows(self, line: int, rule: str) -> bool:
+        match = _ALLOW_RE.search(self.comment(line))
+        if not match:
+            return False
+        allowed = {part.strip() for part in match.group(1).split(",")}
+        return rule in allowed
+
+    def has_marker(self, marker: str) -> bool:
+        """True when any comment in the module contains ``marker``."""
+        return any(marker in text for text in self.comments.values())
+
+    def caller_holds(self, def_line: int) -> set[str]:
+        """Locks declared held by the caller on a ``def`` line comment."""
+        return set(_CALLER_HOLDS_RE.findall(self.comment(def_line)))
+
+    def blesses_unguarded_read(self, line: int) -> bool:
+        return bool(_UNGUARDED_READ_RE.search(self.comment(line)))
+
+
+@dataclass
+class ClassInfo:
+    """A class with its (inheritance-merged) concurrency declarations."""
+
+    name: str
+    module: Module
+    node: ast.ClassDef
+    guarded: dict[str, str] = field(default_factory=dict)  # field -> lock attr
+    aliases: dict[str, str] = field(default_factory=dict)  # alias -> lock attr
+    bases: list[str] = field(default_factory=list)
+
+    def resolve_lock(self, attr: str) -> str:
+        """Canonical lock attribute for ``attr`` (follows one alias hop)."""
+        return self.aliases.get(attr, attr)
+
+    def lock_names(self) -> set[str]:
+        """Every attribute that names (or aliases) a declared lock."""
+        return set(self.guarded.values()) | set(self.aliases) | set(self.aliases.values())
+
+
+def _literal_dict(node: ast.AST) -> dict | None:
+    try:
+        value = ast.literal_eval(node)
+    except (ValueError, SyntaxError):
+        return None
+    return value if isinstance(value, dict) else None
+
+
+def _own_declarations(module: Module, node: ast.ClassDef) -> tuple[dict, dict]:
+    guarded: dict[str, str] = {}
+    aliases: dict[str, str] = {}
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                if target.id == "GUARDED_BY":
+                    guarded.update(_literal_dict(stmt.value) or {})
+                elif target.id == "LOCK_ALIASES":
+                    aliases.update(_literal_dict(stmt.value) or {})
+        if isinstance(stmt, ast.FunctionDef) and stmt.name in ("__init__", "__post_init__"):
+            for inner in ast.walk(stmt):
+                if not isinstance(inner, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = inner.targets if isinstance(inner, ast.Assign) else [inner.target]
+                match = _GUARDED_COMMENT_RE.search(module.comment(inner.lineno))
+                if not match:
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        guarded[target.attr] = match.group(1)
+    return guarded, aliases
+
+
+def collect_classes(modules: list[Module]) -> dict[str, ClassInfo]:
+    """Index every class by name, with declarations merged from bases.
+
+    Base resolution is by simple name across the analyzed tree (the repo
+    has no duplicate class names among lock-bearing types); unknown bases
+    are ignored.
+    """
+    infos: dict[str, ClassInfo] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            guarded, aliases = _own_declarations(module, node)
+            bases = [base.id for base in node.bases if isinstance(base, ast.Name)]
+            infos[node.name] = ClassInfo(
+                name=node.name,
+                module=module,
+                node=node,
+                guarded=guarded,
+                aliases=aliases,
+                bases=bases,
+            )
+
+    def merged(info: ClassInfo, seen: frozenset[str]) -> tuple[dict, dict]:
+        guarded: dict[str, str] = {}
+        aliases: dict[str, str] = {}
+        for base in info.bases:
+            parent = infos.get(base)
+            if parent is not None and base not in seen:
+                base_guarded, base_aliases = merged(parent, seen | {base})
+                guarded.update(base_guarded)
+                aliases.update(base_aliases)
+        guarded.update(info.guarded)
+        aliases.update(info.aliases)
+        return guarded, aliases
+
+    for info in infos.values():
+        info.guarded, info.aliases = merged(info, frozenset({info.name}))
+    return infos
+
+
+def iter_py_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def with_lock_attrs(item: ast.withitem) -> str | None:
+    """``self.<attr>`` acquired by one ``with`` item, else ``None``."""
+    expr = item.context_expr
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None

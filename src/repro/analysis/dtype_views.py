@@ -1,0 +1,79 @@
+"""Rule ``dtype-view``: flat-view producers never round-trip through lists.
+
+Functions whose ``def`` line carries a ``# returns: flat-view`` marker
+promise to hand back the already-flat per-record representation (a raw
+striped value list or a memoized float64 ndarray) *without* rebuilding it
+through Python-level iteration.  The vectorized fast paths rely on this:
+a hidden ``list(...)``/``.tolist()``/comprehension in a hot accessor
+silently turns an O(1) view into an O(n) copy and breaks dtype stability.
+
+The rule flags any ``return`` expression in a marked function containing
+a list/generator comprehension or a call to ``list``/``sorted``/
+``.tolist()``/``.to_rows()``/``np.fromiter``.  Suppress a deliberate
+materialization with ``# recheck-lint: allow(dtype-view)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.common import ClassInfo, Module, Violation
+
+RULE = "dtype-view"
+_MARKER_RE = re.compile(r"returns:\s*flat-view")
+
+_FORBIDDEN_NAMES = frozenset({"list", "sorted"})
+_FORBIDDEN_ATTRS = frozenset({"tolist", "to_rows", "fromiter"})
+
+
+def check(modules: list[Module], classes: dict[str, ClassInfo]) -> list[Violation]:
+    del classes
+    violations: list[Violation] = []
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _MARKER_RE.search(module.comment(node.lineno)):
+                continue
+            _scan_marked(module, node, violations)
+    return violations
+
+
+def _scan_marked(
+    module: Module,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    violations: list[Violation],
+) -> None:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            offender = _first_round_trip(node.value)
+            if offender is None or module.allows(node.lineno, RULE):
+                continue
+            violations.append(
+                Violation(
+                    rule=RULE,
+                    path=str(module.path),
+                    line=node.lineno,
+                    message=(
+                        f"{func.name} is marked '# returns: flat-view' but its "
+                        f"return value is built via {offender} — a Python-list "
+                        "round-trip, not a flat view"
+                    ),
+                )
+            )
+
+
+def _first_round_trip(expr: ast.expr) -> str | None:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.ListComp):
+            return "a list comprehension"
+        if isinstance(node, ast.GeneratorExp):
+            return "a generator expression"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _FORBIDDEN_NAMES:
+                return f"{func.id}(...)"
+            if isinstance(func, ast.Attribute) and func.attr in _FORBIDDEN_ATTRS:
+                return f".{func.attr}(...)"
+    return None

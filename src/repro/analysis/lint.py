@@ -1,0 +1,93 @@
+"""recheck-lint CLI: ``python -m repro.analysis.lint src [--json report.json]``.
+
+Parses every ``.py`` file under the given paths and runs the four rule
+families (guarded-by, lock-order + heavy-work, future-resolution,
+dtype-view).  Exits 1 when any violation is found; ``--json`` also writes
+a machine-readable report (archived as a CI artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import dtype_views, futures, guarded_by, lock_order
+from repro.analysis.common import Module, Violation, collect_classes, iter_py_files
+
+#: rule-family name -> checker; each gets (modules, classes).
+CHECKERS = {
+    "guarded-by": guarded_by.check,
+    "lock-order": lock_order.check,
+    "future-resolution": futures.check,
+    "dtype-view": dtype_views.check,
+}
+
+
+def run_lint(paths: list[Path], rules: list[str] | None = None) -> tuple[list[Violation], dict]:
+    """Run the selected rule families; return (violations, JSON report)."""
+    files = iter_py_files(paths)
+    modules: list[Module] = []
+    errors: list[str] = []
+    for path in files:
+        try:
+            modules.append(Module.parse(path))
+        except SyntaxError as exc:
+            errors.append(f"{path}: syntax error: {exc}")
+    classes = collect_classes(modules)
+    violations: list[Violation] = []
+    for name, checker in CHECKERS.items():
+        if rules is not None and name not in rules:
+            continue
+        violations.extend(checker(modules, classes))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    report = {
+        "tool": "recheck-lint",
+        "paths": [str(path) for path in paths],
+        "files_scanned": len(files),
+        "rules": sorted(CHECKERS) if rules is None else sorted(rules),
+        "parse_errors": errors,
+        "violation_count": len(violations),
+        "violations": [violation.as_dict() for violation in violations],
+    }
+    return violations, report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="recheck-lint",
+        description="Concurrency/dtype invariant checker for the ReCache tree.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument("--json", metavar="PATH", help="write a JSON report here")
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule families to run (default: all)",
+    )
+    options = parser.parse_args(argv)
+
+    rules = options.rules.split(",") if options.rules else None
+    if rules is not None:
+        unknown = set(rules) - set(CHECKERS)
+        if unknown:
+            parser.error(f"unknown rules: {', '.join(sorted(unknown))}")
+    violations, report = run_lint([Path(p) for p in options.paths], rules)
+
+    for violation in violations:
+        print(violation.render())
+    if report["parse_errors"]:
+        for error in report["parse_errors"]:
+            print(error, file=sys.stderr)
+    if options.json:
+        Path(options.json).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    summary = (
+        f"recheck-lint: {report['violation_count']} violation(s) "
+        f"in {report['files_scanned']} file(s)"
+    )
+    print(summary)
+    return 1 if (violations or report["parse_errors"]) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

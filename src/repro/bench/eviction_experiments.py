@@ -197,11 +197,11 @@ def ablation_subsumption_index(num_predicates: int = 400, num_lookups: int = 200
 
     def build_entries(index: SubsumptionIndex) -> list[CacheEntry]:
         entries = []
-        for i in range(num_predicates):
+        for _ in range(num_predicates):
             low = rng.uniform(0, 40)
             predicate = RangePredicate("l_quantity", low, low + rng.uniform(1, 10))
             entry = CacheEntry(
-                key=CacheKey.for_select(f"lineitem", predicate),
+                key=CacheKey.for_select("lineitem", predicate),
                 source="lineitem",
                 source_format="csv",
                 predicate=predicate,

@@ -19,9 +19,9 @@ from repro.bench.reporting import percent_reduction
 
 #: the three layout configurations compared in Figures 10 and 11
 _LAYOUT_CONFIGS = {
-    "columnar": dict(layout_selection=False, default_nested_layout="columnar"),
-    "parquet": dict(layout_selection=False, default_nested_layout="parquet"),
-    "recache": dict(layout_selection=True, default_nested_layout="parquet"),
+    "columnar": {"layout_selection": False, "default_nested_layout": "columnar"},
+    "parquet": {"layout_selection": False, "default_nested_layout": "parquet"},
+    "recache": {"layout_selection": True, "default_nested_layout": "parquet"},
 }
 
 
@@ -174,18 +174,26 @@ def figure11c_sensitivity_json_fraction(
 # Figure 15: the four cache configurations under a limited memory budget
 # ---------------------------------------------------------------------------
 _FIG15_CONFIGS = {
-    "columnar_lru": dict(
-        layout_selection=False, default_nested_layout="columnar", eviction_policy="lru"
-    ),
-    "columnar_greedy": dict(
-        layout_selection=False, default_nested_layout="columnar", eviction_policy="recache"
-    ),
-    "parquet_greedy": dict(
-        layout_selection=False, default_nested_layout="parquet", eviction_policy="recache"
-    ),
-    "recache": dict(
-        layout_selection=True, default_nested_layout="parquet", eviction_policy="recache"
-    ),
+    "columnar_lru": {
+        "layout_selection": False,
+        "default_nested_layout": "columnar",
+        "eviction_policy": "lru",
+    },
+    "columnar_greedy": {
+        "layout_selection": False,
+        "default_nested_layout": "columnar",
+        "eviction_policy": "recache",
+    },
+    "parquet_greedy": {
+        "layout_selection": False,
+        "default_nested_layout": "parquet",
+        "eviction_policy": "recache",
+    },
+    "recache": {
+        "layout_selection": True,
+        "default_nested_layout": "parquet",
+        "eviction_policy": "recache",
+    },
 }
 
 

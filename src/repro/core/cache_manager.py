@@ -121,6 +121,18 @@ class ReCache:
     decisions.
     """
 
+    #: Lock discipline, machine-checked by ``python -m repro.analysis.lint``:
+    #: every load/store of these fields must hold the declared lock (methods
+    #: below the "Internals" banner document ``# caller-holds: self._lock``).
+    GUARDED_BY = {
+        "_entries": "_lock",
+        "_sequence": "_lock",
+        "_switches_in_progress": "_lock",
+        "_occupancy": "_lock",
+        "_reservation": "_lock",
+        "stats": "_lock",
+    }
+
     def __init__(self, config: ReCacheConfig | None = None, shared_budget=None) -> None:
         self.config = config or ReCacheConfig()
         #: bytes reserved in the shared budget by the admission currently in
@@ -172,7 +184,7 @@ class ReCache:
 
     @property
     def sequence(self) -> int:
-        return self._sequence
+        return self._sequence  # unguarded-read: GIL-atomic int; monitoring path
 
     def eviction_policies(self) -> list[EvictionPolicy]:
         """All policy instances managed by this cache (one, unless sharded)."""
@@ -191,8 +203,7 @@ class ReCache:
 
     @property
     def total_bytes(self) -> int:
-        # Reading an int is atomic under the GIL; no lock needed on this path.
-        return self._occupancy
+        return self._occupancy  # unguarded-read: GIL-atomic int; monitoring path
 
     def has_live_entries(self, source: str) -> bool:
         """True when at least one cached item from ``source`` is resident."""
@@ -491,14 +502,14 @@ class ReCache:
     # ------------------------------------------------------------------
     # Internals (all called with the lock held)
     # ------------------------------------------------------------------
-    def _is_resident(self, entry: CacheEntry) -> bool:
+    def _is_resident(self, entry: CacheEntry) -> bool:  # caller-holds: self._lock
         return self._entries.get(entry.key.as_string()) is entry
 
-    def _pooled(self) -> bool:
+    def _pooled(self) -> bool:  # caller-holds: self._lock
         """True when byte enforcement goes through a shared global budget."""
         return getattr(self._shared_budget, "limit", None) is not None
 
-    def _settle_reservation(self) -> None:
+    def _settle_reservation(self) -> None:  # caller-holds: self._lock
         """Return the in-flight admission's reservation after its install.
 
         Between the occupancy adjustment and this release the shared budget
@@ -509,12 +520,12 @@ class ReCache:
             self._shared_budget.release(self._reservation)
             self._reservation = 0
 
-    def _adjust_occupancy(self, delta: int) -> None:
+    def _adjust_occupancy(self, delta: int) -> None:  # caller-holds: self._lock
         self._occupancy += delta
         if self._shared_budget is not None:
             self._shared_budget.add(delta)
 
-    def _install(self, entry: CacheEntry) -> None:
+    def _install(self, entry: CacheEntry) -> None:  # caller-holds: self._lock
         key = entry.key.as_string()
         existing = self._entries.get(key)
         if existing is not None:
@@ -528,7 +539,7 @@ class ReCache:
         self.policy.on_admit(entry, self._sequence)
         self.subsumption.register(entry)
 
-    def _make_room_for(self, entry: CacheEntry) -> bool:
+    def _make_room_for(self, entry: CacheEntry) -> bool:  # caller-holds: self._lock
         """Ensure the new entry fits; returns False when it cannot fit.
 
         On success under a pooled budget, the entry's bytes are left reserved
@@ -552,7 +563,7 @@ class ReCache:
                 return False
         return True
 
-    def _make_room_pooled(self, entry: CacheEntry) -> bool:
+    def _make_room_pooled(self, entry: CacheEntry) -> bool:  # caller-holds: self._lock
         """Shared-budget admission: the *global* limit is the binding one.
 
         An entry larger than this shard's proportional share is admissible by
@@ -590,13 +601,13 @@ class ReCache:
             )
         return True
 
-    def _evict_until_available(self, bytes_to_free: int, exclude: CacheEntry | None = None) -> None:
+    def _evict_until_available(self, bytes_to_free: int, exclude: CacheEntry | None = None) -> None:  # caller-holds: self._lock
         candidates = [e for e in self._entries.values() if e is not exclude]
         victims = self.policy.choose_victims(candidates, bytes_to_free)
         for victim in victims:
             self.evict_entry(victim)
 
-    def _free_overage(self, size_delta: int, exclude: CacheEntry) -> None:
+    def _free_overage(self, size_delta: int, exclude: CacheEntry) -> None:  # caller-holds: self._lock
         """Evict enough to absorb ``size_delta`` extra bytes, if a limit is set."""
         limit = self.config.cache_size_limit
         if limit is None or size_delta <= 0:
@@ -605,7 +616,7 @@ class ReCache:
         if needed > 0:
             self._evict_until_available(needed, exclude=exclude)
 
-    def _install_switched_layout(
+    def _install_switched_layout(  # caller-holds: self._lock
         self,
         entry: CacheEntry,
         old_layout: CacheLayout,

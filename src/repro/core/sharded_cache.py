@@ -61,6 +61,8 @@ class AtomicCounter:
 
     __slots__ = ("_lock", "_value")
 
+    GUARDED_BY = {"_value": "_lock"}
+
     def __init__(self, initial: int = 0) -> None:
         self._lock = threading.Lock()
         self._value = initial
@@ -72,7 +74,7 @@ class AtomicCounter:
 
     @property
     def value(self) -> int:
-        return self._value
+        return self._value  # unguarded-read: GIL-atomic int; monitoring path
 
 
 class SharedBudget(AtomicCounter):
@@ -96,6 +98,8 @@ class SharedBudget(AtomicCounter):
     """
 
     __slots__ = ("limit", "_reserved")
+
+    GUARDED_BY = {"_value": "_lock", "_reserved": "_lock"}
 
     def __init__(self, limit: int | None = None, initial: int = 0) -> None:
         super().__init__(initial)
@@ -132,7 +136,7 @@ class SharedBudget(AtomicCounter):
 
     @property
     def reserved(self) -> int:
-        return self._reserved
+        return self._reserved  # unguarded-read: GIL-atomic int; test/monitoring path
 
 
 def shard_limits(limit: int | None, shard_count: int) -> list[int | None]:
@@ -152,6 +156,20 @@ def shard_limits(limit: int | None, shard_count: int) -> list[int | None]:
 
 class ShardedReCache:
     """Thread-safe cache manager presenting the ``ReCache`` API over N shards."""
+
+    #: Lock discipline, machine-checked by ``python -m repro.analysis.lint``.
+    #: Per-shard entry state is guarded by each shard's own ``ReCache._lock``;
+    #: the wrapper only guards its global sequence and its cross-shard and
+    #: lookup counters (a subsumption probe spans shards).
+    GUARDED_BY = {
+        "_sequence": "_sequence_lock",
+        "_cross_shard_rounds": "_balance_lock",
+        "_cross_shard_evicted_bytes": "_balance_lock",
+        "_lookups": "_lookup_lock",
+        "_exact_hits": "_lookup_lock",
+        "_subsumption_hits": "_lookup_lock",
+        "_misses": "_lookup_lock",
+    }
 
     def __init__(self, config: ReCacheConfig | None = None, shard_count: int | None = None) -> None:
         self.config = config or ReCacheConfig()
@@ -211,7 +229,7 @@ class ShardedReCache:
 
     @property
     def sequence(self) -> int:
-        return self._sequence
+        return self._sequence  # unguarded-read: GIL-atomic int; monitoring path
 
     @property
     def policy(self) -> EvictionPolicy:

@@ -336,7 +336,7 @@ def _vector_mask(expr: Expression):
             return result
 
         return mask
-    if isinstance(expr, And) or isinstance(expr, Or):
+    if isinstance(expr, (And, Or)):
         children = [_vector_mask(child) for child in expr.children]
         combine = np.logical_and if isinstance(expr, And) else np.logical_or
 

@@ -26,6 +26,7 @@ reuse.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 
@@ -626,7 +627,7 @@ def _decide_admission(
     # Building the sample's eager cache is genuine caching work: include it in
     # the sampled caching time so the extrapolation sees the full cost.
     build_started = time.perf_counter()
-    try:
+    with contextlib.suppress(ValueError):  # empty sample: nothing to build
         if nested and layout_name == "parquet":
             build_layout(layout_name, source.schema, fields, records=eager_records)
         else:
@@ -638,8 +639,6 @@ def _decide_admission(
                 rows=eager_rows,
                 record_row_counts=eager_counts or None,
             )
-    except ValueError:
-        pass  # empty sample: nothing to build
     caching_seconds += time.perf_counter() - build_started
 
     now = time.perf_counter() - ctx.query_started

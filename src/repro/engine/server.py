@@ -45,6 +45,9 @@ is what the multi-client workload driver and the throughput benches consume.
 
 from __future__ import annotations
 
+# recheck-lint: check-futures — every path that creates a per-query future
+# must reach set_result/set_exception, including shutdown/exception paths.
+
 import math
 import threading
 import time
@@ -224,6 +227,18 @@ class EngineServer:
     registration is not synchronized against in-flight queries.
     """
 
+    #: Lock discipline, machine-checked by ``python -m repro.analysis.lint``.
+    #: One lock guards the lifecycle flag and the queue accounting; the
+    #: backpressure condition shares it (see ``__init__``), which the alias
+    #: declaration below makes visible to the analyzer.
+    GUARDED_BY = {
+        "_closed": "_lifecycle",
+        "_pending": "_lifecycle",
+        "peak_queue_depth": "_lifecycle",
+        "coalesced_served": "_lifecycle",
+    }
+    LOCK_ALIASES = {"_backpressure": "_lifecycle"}
+
     def __init__(
         self,
         engine: QueryEngine | None = None,
@@ -348,15 +363,46 @@ class EngineServer:
             self._pending += len(queries)
             if self._pending > self.peak_queue_depth:
                 self.peak_queue_depth = self._pending
-            submissions = [
-                _Submission(query, Future(), enqueued_at, depth, result_format=fmt)
-                for query, fmt in zip(queries, formats)
-            ]
-            for group in group_batch(_coalesce(submissions)):
-                # Submitted under the lifecycle lock: a concurrent shutdown
-                # cannot close the pool between the ``_closed`` check above
-                # and this enqueue.
-                self._pool.submit(self._serve_group, group, vectorized)
+            submissions: list[_Submission] = []
+            groups: list[list[_Execution]] = []
+            submitted = 0
+            try:
+                submissions = [
+                    _Submission(query, Future(), enqueued_at, depth, result_format=fmt)
+                    for query, fmt in zip(queries, formats)
+                ]
+                groups = group_batch(_coalesce(submissions))
+                while submitted < len(groups):
+                    # Submitted under the lifecycle lock: a concurrent shutdown
+                    # cannot close the pool between the ``_closed`` check above
+                    # and this enqueue.
+                    self._pool.submit(self._serve_group, groups[submitted], vectorized)
+                    submitted += 1
+            except BaseException as exc:
+                # Roll back whatever never reached the pool: resolve its
+                # futures exceptionally and return its pending slots.  Without
+                # this, a failing enqueue would leak backpressure capacity
+                # forever and leave clients blocked on futures that never
+                # resolve.  Groups already in flight settle themselves.
+                stranded = [
+                    submission
+                    for group in groups[submitted:]
+                    for execution in group
+                    for submission in execution.submissions
+                ]
+                if not groups:
+                    stranded = submissions
+                for submission in stranded:
+                    if not submission.future.done():
+                        submission.future.set_exception(exc)
+                in_flight = sum(
+                    len(execution.submissions)
+                    for group in groups[:submitted]
+                    for execution in group
+                )
+                self._pending -= len(queries) - in_flight
+                self._backpressure.notify_all()
+                raise
         return [submission.future for submission in submissions]
 
     def serve_all(
@@ -377,31 +423,56 @@ class EngineServer:
         this worker; the callbacks resolve each execution's futures the moment
         its result (or failure) is known, so clients never wait for the whole
         group.  ``execute_group`` preserves query order, which is what lets
-        the callbacks walk the executions with a plain iterator.
+        the callbacks track the current execution with a plain index.  A
+        failure *outside* the per-query handling (argument validation, a
+        raising callback, a broken session) must still resolve every
+        remaining future — clients block on them, and their pending slots
+        hold backpressure capacity — hence the catch-all that fails the
+        executions the callbacks never reached.
         """
-        executions = iter(group)
+        position = [0]
         execution_started = [time.perf_counter()]
 
         def resolve(query: Query, report: QueryReport) -> None:
-            self._resolve_execution(next(executions), report, execution_started[0])
+            execution = group[position[0]]
+            position[0] += 1
+            self._resolve_execution(execution, report, execution_started[0])
             execution_started[0] = time.perf_counter()
 
         def fail(query: Query, exc: Exception) -> None:
-            execution = next(executions)
-            for submission in execution.submissions:
-                submission.future.set_exception(exc)
-            self._settle(len(execution.submissions), 0)
+            execution = group[position[0]]
+            position[0] += 1
+            self._fail_execution(execution, exc)
             execution_started[0] = time.perf_counter()
 
-        self.engine.execute_group(
-            [execution.query for execution in group],
-            vectorized=vectorized,
-            # The primary submission's format drives the execution; coalesced
-            # duplicates get their own converted copies when they resolve.
-            result_formats=[execution.submissions[0].result_format for execution in group],
-            on_report=resolve,
-            on_error=fail,
-        )
+        try:
+            self.engine.execute_group(
+                [execution.query for execution in group],
+                vectorized=vectorized,
+                # The primary submission's format drives the execution; coalesced
+                # duplicates get their own converted copies when they resolve.
+                result_formats=[execution.submissions[0].result_format for execution in group],
+                on_report=resolve,
+                on_error=fail,
+            )
+        except BaseException as exc:
+            for execution in list(group)[position[0]:]:
+                self._fail_execution(execution, exc)
+            raise
+
+    def _fail_execution(self, execution: _Execution, exc: BaseException) -> None:
+        """Resolve one execution's futures exceptionally and settle its slots.
+
+        Guards ``done()`` because an execution that partially resolved before
+        failing (e.g. the primary resolved, then a duplicate's conversion
+        raised) reaches this path with some futures already terminal.
+        """
+        try:
+            for submission in execution.submissions:
+                if not submission.future.done():
+                    submission.future.set_exception(exc)
+        finally:
+            self._settle(len(execution.submissions), 0)
 
     def _resolve_execution(
         self, execution: _Execution, report: QueryReport, started: float
@@ -501,7 +572,7 @@ class EngineServer:
     @property
     def queue_depth(self) -> int:
         """Queries currently pending (queued or executing)."""
-        return self._pending
+        return self._pending  # unguarded-read: GIL-atomic int; monitoring path
 
     def shutdown(self, wait: bool = True) -> None:
         with self._backpressure:

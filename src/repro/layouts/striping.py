@@ -54,7 +54,7 @@ class StripedColumn:
         """Return the (start, end) entry range belonging to one record."""
         return self.record_ranges[record_index]
 
-    def flat_values(self, record_count: int) -> list | None:
+    def flat_values(self, record_count: int) -> list | None:  # returns: flat-view
         """The per-record value list of a non-repeated column, or ``None``.
 
         A flat (non-repeated) column stripes exactly one entry per record, in

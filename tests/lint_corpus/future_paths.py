@@ -1,0 +1,35 @@
+"""Seeded ``future-resolution`` violation for the self-test."""
+
+# recheck-lint: check-futures
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+
+
+class MiniServer:
+    """The shape of the real serving layer, reduced to its future plumbing."""
+
+    def __init__(self, pool, engine) -> None:
+        self.pool = pool
+        self.engine = engine
+
+    def good_submit(self, query) -> Future:
+        future = Future()
+        try:
+            self.pool.submit(self._run, query, future)
+        except BaseException as exc:
+            future.set_exception(exc)
+            raise
+        return future
+
+    def bad_submit(self, query) -> Future:
+        future = Future()
+        self.pool.submit(self._run, query, future)  # PLANTED: future-resolution
+        return future
+
+    def _run(self, query, future) -> None:
+        try:
+            future.set_result(self.engine.execute(query))
+        except BaseException as exc:
+            future.set_exception(exc)

@@ -1,0 +1,55 @@
+"""Seeded ``guarded-by`` violations for the recheck-lint self-test.
+
+Every line carrying a ``# PLANTED: <rule>`` comment must be flagged by the
+analyzer — and nothing else in this file may be.  The clean methods exercise
+the blessing mechanisms (with-block, ``caller-holds``, ``unguarded-read``)
+so the self-test also proves the analyzer stays silent where it should.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class GuardedCounter:
+    """Declares guarded fields via the ``GUARDED_BY`` class attribute."""
+
+    GUARDED_BY = {"_count": "_lock", "_log": "_lock"}
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+        self._log: list[int] = []
+
+    def good_increment(self) -> int:
+        with self._lock:
+            self._count += 1
+            self._log.append(self._count)
+            return self._count
+
+    def documented_internal(self) -> int:  # caller-holds: self._lock
+        return self._count
+
+    def monitoring_read(self) -> int:
+        return self._count  # unguarded-read: GIL-atomic int; monitoring only
+
+    def bad_increment(self) -> None:
+        self._count += 1  # PLANTED: guarded-by
+
+    def bad_read(self) -> int:
+        return len(self._log)  # PLANTED: guarded-by
+
+
+class CommentGuarded:
+    """Declares a guarded field via a ``# guarded-by:`` __init__ comment."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: list[str] = []  # guarded-by: self._lock
+
+    def good_add(self, item: str) -> None:
+        with self._lock:
+            self._items.append(item)
+
+    def bad_clear(self) -> None:
+        self._items = []  # PLANTED: guarded-by

@@ -1,0 +1,42 @@
+"""Seeded ``lock-order`` and ``heavy-work`` violations for the self-test.
+
+Uses the module-level ``RECHECK_LOCK_RANKS`` extension table so the corpus
+declares its own partial order without touching the core's rank table.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+RECHECK_LOCK_RANKS = {
+    "Coordinator._outer_lock": 10,
+    "Coordinator._inner_lock": 20,
+}
+
+
+class Coordinator:
+    """Two ranked locks: ``_outer_lock`` (10) before ``_inner_lock`` (20)."""
+
+    GUARDED_BY = {"_state": "_outer_lock"}
+
+    def __init__(self) -> None:
+        self._outer_lock = threading.Lock()
+        self._inner_lock = threading.Lock()
+        self._state = 0
+
+    def good_nesting(self) -> None:
+        with self._outer_lock:
+            self._state += 1
+            with self._inner_lock:
+                pass
+
+    def bad_nesting(self) -> None:
+        with self._inner_lock:
+            with self._outer_lock:  # PLANTED: lock-order
+                self._state += 1
+
+    def heavy_under_lock(self) -> None:
+        with self._outer_lock:
+            self._state += 1
+            time.sleep(0)  # PLANTED: heavy-work

@@ -1,0 +1,22 @@
+"""Seeded ``dtype-view`` violations for the self-test."""
+
+from __future__ import annotations
+
+
+class MiniColumn:
+    """A column whose accessor promises a materialized flat view."""
+
+    def __init__(self, values, nested: bool) -> None:
+        self.values = values
+        self.nested = nested
+
+    def flat_values(self):  # returns: flat-view
+        if self.nested:
+            return None
+        return self.values
+
+    def copied_values(self):  # returns: flat-view
+        return [float(value) for value in self.values]  # PLANTED: dtype-view
+
+    def roundtrip_array(self, array):  # returns: flat-view
+        return array.tolist()  # PLANTED: dtype-view

@@ -115,7 +115,7 @@ class TestExecutionConsistency:
             join_query(),
         ]
         baselines = None
-        for name, config in configs.items():
+        for config in configs.values():
             engine = build_engine(dataset_dir, config)
             results = []
             for query in queries:

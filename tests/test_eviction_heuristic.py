@@ -72,8 +72,8 @@ def test_trim_never_frees_fewer_bytes_than_requested(sizes, data):
     need = data.draw(st.integers(min_value=1, max_value=sum(sizes)))
     victims = size_aware_victims(candidates, need)
     assert total_bytes(victims) >= need
-    assert len(victims) == len(set(id(v) for v in victims)), "no victim twice"
-    assert set(id(v) for v in victims) <= set(id(c) for c in candidates)
+    assert len(victims) == len({id(v) for v in victims}), "no victim twice"
+    assert {id(v) for v in victims} <= {id(c) for c in candidates}
 
 
 # ---------------------------------------------------------------------------
@@ -106,7 +106,7 @@ def test_choose_victims_returns_everything_when_deficit_exceeds_cache():
     entries = [_entry(10), _entry(20)]
     policy = ReCacheGreedyDualPolicy()
     victims = policy.choose_victims(entries, bytes_to_free=1000)
-    assert set(id(v) for v in victims) == set(id(e) for e in entries)
+    assert {id(v) for v in victims} == {id(e) for e in entries}
 
 
 def test_choose_victims_without_size_awareness_still_covers_deficit():

@@ -1,0 +1,75 @@
+"""Deadlock stress: concurrent admit/evict/lookup under the lock watchdog.
+
+Eight client threads hammer a small :class:`ShardedReCache` hard enough that
+admissions constantly borrow from the :class:`SharedBudget`, overflow their
+home shard, and trigger cross-shard eviction rounds — the paths where a
+shard lock, the budget lock and the coordinator bookkeeping locks interact.
+Every lock in the tree is labeled with its declared rank, so any dynamic
+acquisition-order inversion (the deadlock shape the static pass cannot see
+through indirection) is recorded and fails the test.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analysis.lock_watchdog import LockWatchdog, label_locks
+from repro.core.config import ReCacheConfig
+from repro.core.sharded_cache import ShardedReCache
+from repro.engine.expressions import RangePredicate
+from repro.engine.types import FLOAT, INT, Field, RecordType
+from repro.layouts import build_layout
+
+SCHEMA = RecordType([Field("id", INT), Field("value", FLOAT)])
+
+
+def _layout(rows: int):
+    data = [{"id": i, "value": float(i)} for i in range(rows)]
+    return build_layout("columnar", SCHEMA, ["id", "value"], rows=data)
+
+
+def test_sharded_cache_stress_has_no_lock_order_inversions():
+    watchdog = LockWatchdog().install()
+    try:
+        # Constructed under the watchdog so every internal lock is wrapped.
+        small = _layout(25)
+        limit = small.nbytes * 5
+        cache = ShardedReCache(ReCacheConfig(cache_size_limit=limit), shard_count=4)
+
+        labeled = label_locks(cache) + label_locks(cache.budget)
+        for index, shard in enumerate(cache.shards):
+            labeled += label_locks(shard, prefix=f"shard{index}")
+        assert labeled >= 3 + 1 + 4, "expected the full lock tree to be labeled"
+
+        errors: list[Exception] = []
+
+        def client(worker: int) -> None:
+            try:
+                for step in range(30):
+                    index = worker * 1000 + step
+                    rows = 25 + (index % 3) * 10
+                    predicate = RangePredicate("value", float(index), float(index) + 0.5)
+                    cache.admit_eager(
+                        "s", "csv", predicate, ["id", "value"], _layout(rows),
+                        operator_time=0.1 + step * 0.01, caching_time=0.01,
+                    )
+                    cache.lookup("s", predicate, ["id", "value"])
+                    cache.get_exact("s", predicate)
+                    assert cache.total_bytes <= limit, "global budget violated"
+            except Exception as exc:  # noqa: BLE001 - surfaced to the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(w,)) for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert cache.total_bytes <= limit
+        assert cache.budget.reserved == 0, "no reservation may leak"
+        # Enough churn to exercise the cross-shard paths, not just happy admits.
+        assert cache.stats.extras.get("borrowed_admissions", 0) >= 1
+        watchdog.assert_clean()
+    finally:
+        watchdog.uninstall()

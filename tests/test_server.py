@@ -68,6 +68,46 @@ def test_merge_reports_sums_counters():
     assert merged.results == []
 
 
+def test_merge_reports_carries_every_report_field():
+    """Introspects QueryReport so a new counter cannot silently be dropped.
+
+    ``results`` is intentionally dropped and ``label`` is the aggregate's
+    identity; everything else must survive merging — summed, except
+    ``queue_depth`` (deepest observed) and ``admissions`` (key-by-key sums,
+    including keys the merge code has never heard of).
+    """
+    import dataclasses
+
+    skipped = {"results", "label", "admissions"}
+    first = QueryReport(label="first")
+    second = QueryReport(label="second")
+    value = 3
+    for spec in dataclasses.fields(QueryReport):
+        if spec.name in skipped:
+            continue
+        setattr(first, spec.name, value)
+        setattr(second, spec.name, value + 1)
+        value += 2
+    first.admissions = {"eager": 2, "novel_kind": 5}
+    second.admissions = {"eager": 1, "other_novel": 7}
+
+    merged = merge_reports([first, second])
+    for spec in dataclasses.fields(QueryReport):
+        if spec.name in skipped:
+            continue
+        expected = (
+            max(first.queue_depth, second.queue_depth)
+            if spec.name == "queue_depth"
+            else getattr(first, spec.name) + getattr(second, spec.name)
+        )
+        assert getattr(merged, spec.name) == expected, (
+            f"merge_reports drops or mis-merges QueryReport.{spec.name}"
+        )
+    assert merged.admissions == {"eager": 3, "lazy": 0, "novel_kind": 5, "other_novel": 7}
+    assert merged.results == []
+    assert merged.label == "aggregate"
+
+
 def test_submit_after_shutdown_raises(server_engine):
     server = EngineServer(server_engine)
     server.shutdown()

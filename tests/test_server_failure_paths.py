@@ -1,0 +1,153 @@
+"""Regression tests: every failure path resolves futures and frees capacity.
+
+Three bugs fixed in the serving layer, each locked down here:
+
+* ``execute_group`` failing *outside* the per-query callbacks left the
+  group's futures unresolved forever and leaked their pending slots;
+* ``submit_batch`` failing after the pending-count bump (e.g. the pool
+  rejecting work) leaked backpressure capacity and stranded futures;
+* a raising ``response_hook`` could leave later duplicates of a coalesced
+  execution unresolved.
+
+The contract: a client blocked on a returned future ALWAYS gets a result or
+an exception, and ``queue_depth`` always returns to zero, so backpressure
+capacity never leaks.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import EngineServer, Query, ReCacheConfig
+from repro.engine.expressions import AggregateSpec, FieldRef, RangePredicate
+
+from tests.conftest import build_engine
+
+
+def _query(index: int, low: float, width: float = 5.0) -> Query:
+    return Query.select_aggregate(
+        "flat",
+        RangePredicate("value", low, low + width),
+        [AggregateSpec("sum", FieldRef("score"))],
+        label=f"fail-{index}",
+    )
+
+
+def _wait_drained(server: EngineServer, timeout: float = 5.0) -> None:
+    deadline = time.perf_counter() + timeout
+    while server.queue_depth != 0:
+        assert time.perf_counter() < deadline, (
+            f"queue never drained: depth={server.queue_depth}"
+        )
+        time.sleep(0.005)
+
+
+@pytest.fixture()
+def server(dataset_dir):
+    engine = build_engine(dataset_dir, ReCacheConfig(shard_count=2, max_workers=2))
+    with EngineServer(engine) as srv:
+        yield srv
+
+
+class _Boom(RuntimeError):
+    pass
+
+
+def test_engine_failure_outside_callbacks_resolves_every_future(server):
+    """A broken session must fail the whole group's futures, not hang them."""
+    def broken_execute_group(queries, **kwargs):
+        raise _Boom("session broke before any callback ran")
+
+    server.engine.execute_group = broken_execute_group
+    try:
+        futures = server.submit_batch([_query(i, float(10 * i)) for i in range(4)])
+        for future in futures:
+            with pytest.raises(_Boom):
+                future.result(timeout=5.0)
+        _wait_drained(server)
+    finally:
+        del server.engine.execute_group
+    # Capacity is intact: the same server still serves normally.
+    report = server.execute(_query(99, 20.0))
+    assert report.rows_returned == 1
+    _wait_drained(server)
+
+
+def test_pool_rejection_rolls_back_pending_and_strands_no_future(server):
+    """submit_batch failing at enqueue must raise AND return every slot."""
+    def rejecting_submit(*args, **kwargs):
+        raise _Boom("pool rejected the task")
+
+    server._pool.submit = rejecting_submit
+    try:
+        with pytest.raises(_Boom):
+            server.submit_batch([_query(i, float(10 * i)) for i in range(3)])
+        assert server.queue_depth == 0, "backpressure capacity leaked"
+    finally:
+        del server._pool.submit
+    report = server.execute(_query(98, 30.0))
+    assert report.rows_returned == 1
+    _wait_drained(server)
+
+
+def test_partial_enqueue_fails_only_the_stranded_groups(server):
+    """Groups already in flight settle themselves; the rest fail cleanly."""
+    real_submit = server._pool.submit
+    calls = []
+
+    def submit_once_then_fail(fn, *args, **kwargs):
+        calls.append(fn)
+        if len(calls) > 1:
+            raise _Boom("pool full after the first group")
+        return real_submit(fn, *args, **kwargs)
+
+    server._pool.submit = submit_once_then_fail
+    try:
+        # Two disjoint intervals on the same source: two overlap groups.
+        queries = [_query(0, 0.0), _query(1, 100.0)]
+        with pytest.raises(_Boom):
+            server.submit_batch(queries)
+        assert len(calls) == 2
+        _wait_drained(server)  # the in-flight group settles itself
+    finally:
+        del server._pool.submit
+    report = server.execute(_query(97, 40.0))
+    assert report.rows_returned == 1
+    _wait_drained(server)
+
+
+def test_raising_response_hook_still_resolves_futures(server):
+    def broken_hook(report):
+        raise _Boom("delivery failed")
+
+    server.response_hook = broken_hook
+    try:
+        future = server.submit(_query(96, 50.0))
+        with pytest.raises(_Boom):
+            future.result(timeout=5.0)
+        _wait_drained(server)
+    finally:
+        server.response_hook = None
+    report = server.execute(_query(95, 60.0))
+    assert report.rows_returned == 1
+    _wait_drained(server)
+
+
+def test_coalesced_duplicates_fail_exceptionally_with_the_primary(server):
+    """Duplicates of a failing execution must not hang on their futures."""
+    def broken_execute_group(queries, **kwargs):
+        raise _Boom("no callbacks")
+
+    server.engine.execute_group = broken_execute_group
+    try:
+        duplicate = _query(94, 70.0)
+        futures = server.submit_batch([duplicate, duplicate, duplicate])
+        assert len(futures) == 3
+        for future in futures:
+            with pytest.raises(_Boom):
+                future.result(timeout=5.0)
+        _wait_drained(server)
+    finally:
+        del server.engine.execute_group

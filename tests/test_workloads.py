@@ -132,13 +132,13 @@ class TestQueryWorkloads:
             assert not any(ORDER_LINEITEMS_SCHEMA.is_nested_path(f) for f in fields)
 
     def test_spa_workload_determinism(self):
-        kwargs = dict(
-            source="orderLineitems",
-            schema=ORDER_LINEITEMS_SCHEMA,
-            field_ranges=TPCH_FIELD_RANGES["orderLineitems"],
-            num_queries=10,
-            seed=4,
-        )
+        kwargs = {
+            "source": "orderLineitems",
+            "schema": ORDER_LINEITEMS_SCHEMA,
+            "field_ranges": TPCH_FIELD_RANGES["orderLineitems"],
+            "num_queries": 10,
+            "seed": 4,
+        }
         a = [q.signature() for q in spa_workload(**kwargs)]
         b = [q.signature() for q in spa_workload(**kwargs)]
         assert a == b
