@@ -39,6 +39,8 @@ SAFE_NAMES: frozenset[str] = frozenset(
         "min", "max", "sum", "sorted", "enumerate", "zip", "id", "repr",
         "str", "int", "float", "bool", "isinstance", "getattr",
         "RuntimeError", "ValueError", "TypeError", "KeyError",
+        # typed failure constructors fed straight into a resolution sink
+        "DeadlineExceeded",
     }
 )
 

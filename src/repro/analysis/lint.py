@@ -1,9 +1,9 @@
 """recheck-lint CLI: ``python -m repro.analysis.lint src [--json report.json]``.
 
-Parses every ``.py`` file under the given paths and runs the four rule
+Parses every ``.py`` file under the given paths and runs the five rule
 families (guarded-by, lock-order + heavy-work, future-resolution,
-dtype-view).  Exits 1 when any violation is found; ``--json`` also writes
-a machine-readable report (archived as a CI artifact).
+dtype-view, no-swallow).  Exits 1 when any violation is found; ``--json``
+also writes a machine-readable report (archived as a CI artifact).
 """
 
 from __future__ import annotations
@@ -13,7 +13,7 @@ import json
 import sys
 from pathlib import Path
 
-from repro.analysis import dtype_views, futures, guarded_by, lock_order
+from repro.analysis import dtype_views, futures, guarded_by, lock_order, no_swallow
 from repro.analysis.common import Module, Violation, collect_classes, iter_py_files
 
 #: rule-family name -> checker; each gets (modules, classes).
@@ -22,6 +22,7 @@ CHECKERS = {
     "lock-order": lock_order.check,
     "future-resolution": futures.check,
     "dtype-view": dtype_views.check,
+    "no-swallow": no_swallow.check,
 }
 
 

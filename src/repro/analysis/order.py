@@ -23,6 +23,10 @@ LOCK_RANKS: dict[tuple[str, str], int] = {
     ("ReCache", "_lock"): 20,
     ("AtomicCounter", "_lock"): 30,
     ("SharedBudget", "_lock"): 30,
+    # Leaf locks of the failure-containment layer: nothing is acquired
+    # under them, and they are never held while taking a cache lock.
+    ("SourceCircuitBreaker", "_lock"): 30,
+    ("_InjectorState", "_lock"): 30,
 }
 
 #: Lock attribute names whose rank is recoverable even when acquired on a

@@ -130,6 +130,7 @@ class ReCache:
         "_switches_in_progress": "_lock",
         "_occupancy": "_lock",
         "_reservation": "_lock",
+        "_recent_evictions": "_lock",
         "stats": "_lock",
     }
 
@@ -158,6 +159,9 @@ class ReCache:
         #: incrementally maintained byte occupancy (sum of entry.nbytes)
         self._occupancy = 0
         self._shared_budget = shared_budget
+        #: (sequence, nbytes) of recent capacity evictions, pruned to the
+        #: configured shed_pressure_window; feeds eviction-pressure shedding
+        self._recent_evictions: list[tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     # Query lifecycle
@@ -480,6 +484,47 @@ class ReCache:
             self.policy.on_evict(entry)
             self.stats.evictions += 1
             self.stats.evicted_bytes += entry.nbytes
+            self._recent_evictions.append((self._sequence, entry.nbytes))
+
+    def quarantine(self, entry: CacheEntry) -> bool:
+        """Invalidate a poisoned entry whose layout scan raised mid-query.
+
+        The entry is removed under the lock with its occupancy (and shared
+        budget share) released through the normal eviction path, so a
+        corrupted cache can never be served again and never strands bytes.
+        Returns False for ghosts (already evicted/replaced) so concurrent
+        quarantines of the same entry count it once.
+        """
+        with self._lock:
+            if not self._is_resident(entry):
+                return False
+            self.evict_entry(entry)
+            self.stats.extras["quarantined"] = self.stats.extras.get("quarantined", 0) + 1
+            return True
+
+    def recent_evicted_bytes(self) -> int:
+        """Bytes evicted within the last ``shed_pressure_window`` queries."""
+        window = self.config.shed_pressure_window
+        with self._lock:
+            horizon = self._sequence - window
+            if self._recent_evictions and self._recent_evictions[0][0] <= horizon:
+                self._recent_evictions = [
+                    (seq, nbytes) for seq, nbytes in self._recent_evictions if seq > horizon
+                ]
+            return sum(nbytes for _, nbytes in self._recent_evictions)
+
+    def eviction_pressure(self) -> float:
+        """Recent evicted bytes as a fraction of the byte budget (0 when unlimited).
+
+        A value near/above 1 means the cache churned through its whole
+        capacity within the recent query window — admitting more work will
+        thrash, which is the signal the server's load shedding keys off.
+        """
+        pooled_limit = getattr(self._shared_budget, "limit", None)
+        limit = pooled_limit if pooled_limit is not None else self.config.cache_size_limit
+        if not limit:
+            return 0.0
+        return self.recent_evicted_bytes() / limit
 
     def evict_if_resident(self, entry: CacheEntry) -> int:
         """Evict ``entry`` if it is still resident; returns the bytes freed.
@@ -534,6 +579,7 @@ class ReCache:
             self.evict_entry(existing)
             self.stats.evictions -= 1  # replacement, not a capacity eviction
             self.stats.evicted_bytes -= existing.nbytes
+            self._recent_evictions.pop()  # replacement adds no eviction pressure
         self._entries[key] = entry
         self._adjust_occupancy(entry.nbytes)
         self.policy.on_admit(entry, self._sequence)

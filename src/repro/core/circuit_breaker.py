@@ -1,0 +1,71 @@
+"""Per-source circuit breaker: route around caching after repeated faults.
+
+Each raw source accumulates a consecutive-failure count; once it reaches
+``failure_threshold`` the breaker *opens* for that source and the planner
+stops consulting/populating the cache for it (queries run as plain raw
+scans, which is the degraded-but-correct path).  After ``cooldown``
+seconds the breaker half-opens: the next query probes the normal path
+again, and one success closes the breaker.
+
+The breaker is a leaf lock: it is only consulted from the planning path
+with no other lock held, and its critical sections are dictionary updates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class SourceCircuitBreaker:
+    """Consecutive-failure breaker keyed by source name."""
+
+    GUARDED_BY = {"_failures": "_lock", "_opened_at": "_lock"}
+
+    def __init__(self, failure_threshold: int = 3, cooldown: float = 30.0) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._lock = threading.Lock()
+        self._failures: dict[str, int] = {}  # guarded-by: self._lock
+        self._opened_at: dict[str, float] = {}  # guarded-by: self._lock
+
+    def record_failure(self, source: str) -> bool:
+        """Count one fault against ``source``; True when the breaker opens."""
+        now = time.monotonic()
+        with self._lock:
+            count = self._failures.get(source, 0) + 1
+            self._failures[source] = count
+            if count >= self.failure_threshold and source not in self._opened_at:
+                self._opened_at[source] = now
+            return source in self._opened_at
+
+    def record_success(self, source: str) -> None:
+        """A healthy query against ``source`` closes/resets the breaker."""
+        with self._lock:
+            self._failures.pop(source, None)
+            self._opened_at.pop(source, None)
+
+    def is_open(self, source: str) -> bool:
+        """True while queries against ``source`` should bypass the cache.
+
+        After ``cooldown`` the source half-opens: this returns False so one
+        probe query takes the normal path; its success closes the breaker,
+        its failure re-opens it immediately (the failure count is intact).
+        """
+        now = time.monotonic()
+        with self._lock:
+            opened = self._opened_at.get(source)
+            if opened is None:
+                return False
+            if now - opened >= self.cooldown:
+                del self._opened_at[source]  # half-open: allow one probe
+                return False
+            return True
+
+    def open_sources(self) -> list[str]:
+        with self._lock:
+            return sorted(self._opened_at)

@@ -144,6 +144,48 @@ class ReCacheConfig:
     #: it by one batch.
     max_pending_queries: int = 256
 
+    #: fault-injection plan spec (see :mod:`repro.faults.plan` for the
+    #: grammar, e.g. ``"scan.raw:io_error:rate=0.05"``).  Installed
+    #: process-wide by :class:`~repro.engine.session.QueryEngine` on
+    #: construction; ``None`` (the default) injects nothing and the fault
+    #: hooks cost one ``None`` check per scan.
+    faults: str | None = None
+
+    #: default per-query deadline in seconds (wall clock from submission /
+    #: execute start); ``None`` disables deadlines.  Overridable per query
+    #: via ``Query.deadline``.  An elapsed deadline surfaces as a typed
+    #: :class:`~repro.core.errors.DeadlineExceeded`.
+    default_deadline: float | None = None
+
+    #: bounded retry for transient scan faults: how many times
+    #: ``QueryEngine.execute`` re-runs a query after a
+    #: :class:`~repro.core.errors.TransientScanError` before letting it
+    #: propagate.
+    scan_retry_limit: int = 2
+
+    #: base of the jittered exponential backoff between scan retries, in
+    #: seconds (attempt ``n`` sleeps ``backoff * 2^n * uniform(0.5, 1.0)``).
+    scan_retry_backoff: float = 0.005
+
+    #: consecutive per-source faults before the circuit breaker opens and
+    #: queries against that source route around the cache entirely.
+    breaker_failure_threshold: int = 3
+
+    #: seconds an open breaker waits before half-opening for a probe query.
+    breaker_cooldown: float = 30.0
+
+    #: eviction-pressure load shedding: when the server's submission queue
+    #: is full AND the fraction of the cache budget evicted within the
+    #: recent query window reaches this threshold, new submissions are
+    #: rejected with a typed :class:`~repro.core.errors.QueryRejected`
+    #: instead of queueing (``None`` disables shedding — the default keeps
+    #: the pre-existing block-until-capacity behaviour).
+    shed_pressure_threshold: float | None = None
+
+    #: number of recent queries (by cache sequence) over which eviction
+    #: pressure is measured.
+    shed_pressure_window: int = 64
+
     #: deterministic seed for the sampling RNG used by timers.
     seed: int = 7
 
@@ -175,6 +217,20 @@ class ReCacheConfig:
             raise ValueError("max_workers must be >= 1")
         if self.max_pending_queries < 1:
             raise ValueError("max_pending_queries must be >= 1")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValueError("default_deadline must be positive or None")
+        if self.scan_retry_limit < 0:
+            raise ValueError("scan_retry_limit must be >= 0")
+        if self.scan_retry_backoff < 0:
+            raise ValueError("scan_retry_backoff must be >= 0")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+        if self.breaker_cooldown < 0:
+            raise ValueError("breaker_cooldown must be >= 0")
+        if self.shed_pressure_threshold is not None and self.shed_pressure_threshold <= 0:
+            raise ValueError("shed_pressure_threshold must be positive or None")
+        if self.shed_pressure_window < 1:
+            raise ValueError("shed_pressure_window must be >= 1")
 
     def with_overrides(self, **overrides) -> "ReCacheConfig":
         """A copy of this configuration with the given fields replaced."""

@@ -53,6 +53,7 @@ from repro.core.cache_manager import CacheManagerStats, CacheMatch, ReCache
 from repro.core.config import ReCacheConfig
 from repro.core.eviction import EvictionPolicy, choose_global_victims
 from repro.engine.expressions import Expression
+from repro.faults import runtime as faults
 from repro.layouts.base import CacheLayout
 
 
@@ -123,6 +124,9 @@ class SharedBudget(AtomicCounter):
 
     def try_reserve(self, nbytes: int) -> bool:
         """Reserve headroom for an admission; False when it would not fit."""
+        injector = faults.injector_for("budget.reserve")
+        if injector is not None and injector.fires():
+            return False  # injected budget exhaustion: admission denied
         with self._lock:
             if self.limit is not None and self._value + self._reserved + nbytes > self.limit:
                 return False
@@ -462,6 +466,20 @@ class ShardedReCache:
 
     def evict_entry(self, entry: CacheEntry) -> None:
         self.shard_for(entry.key).evict_entry(entry)
+
+    def quarantine(self, entry: CacheEntry) -> bool:
+        """Invalidate a poisoned entry on its home shard (see ReCache.quarantine)."""
+        return self.shard_for(entry.key).quarantine(entry)
+
+    def recent_evicted_bytes(self) -> int:
+        return sum(shard.recent_evicted_bytes() for shard in self.shards)
+
+    def eviction_pressure(self) -> float:
+        """Recent evicted bytes across all shards over the global byte budget."""
+        limit = self.budget.limit if self.budget.limit is not None else self.config.cache_size_limit
+        if not limit:
+            return 0.0
+        return self.recent_evicted_bytes() / limit
 
     def benefit_of(self, entry: CacheEntry) -> float:
         return benefit_metric(entry)

@@ -32,10 +32,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+# recheck-lint: check-no-swallow — except blocks in this module must re-raise,
+# wrap in a typed error, or route through an audited containment sink.
 from repro.core.admission import AdmissionDecision, AdmissionSample
 from repro.core.cache_entry import LayoutObservation
 from repro.core.cache_manager import ReCache
 from repro.core.config import ReCacheConfig
+from repro.core.errors import DeadlineExceeded
 from repro.core.sharded_cache import ShardedReCache
 from repro.engine.algebra import (
     AggregateNode,
@@ -97,6 +100,20 @@ class QueryReport:
     #: 1 when this request was served from another identical request's
     #: execution in the same submission batch (no engine work of its own)
     coalesced: int = 0
+    #: transparent re-executions after a transient scan fault (the report of
+    #: the attempt that finally succeeded carries the count)
+    retries: int = 0
+    #: cache scans that fell back to a raw-source scan after their cached
+    #: layout raised mid-scan (the result stays correct, just slower)
+    degraded_scans: int = 0
+    #: poisoned cache entries this query invalidated (evicted under the
+    #: shard lock with their budget share released)
+    quarantined_entries: int = 0
+    #: 1 when the serving tier rejected this query under eviction pressure
+    #: (set by whoever converts the typed QueryRejected into a report)
+    shed: int = 0
+    #: 1 when the query's deadline elapsed before a result was produced
+    deadline_exceeded: int = 0
     label: str = ""
 
     @property
@@ -126,6 +143,11 @@ class QueryReport:
             "queue_wait_time": self.queue_wait_time,
             "queue_depth": self.queue_depth,
             "coalesced": self.coalesced,
+            "retries": self.retries,
+            "degraded_scans": self.degraded_scans,
+            "quarantined_entries": self.quarantined_entries,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
         }
 
 
@@ -144,6 +166,23 @@ class ExecutionContext:
     report: QueryReport
     sequence: int
     query_started: float
+    #: absolute ``time.perf_counter()`` instant after which execution must
+    #: abort with :class:`DeadlineExceeded`; ``None`` disables the checks
+    deadline_at: float | None = None
+
+
+def _check_deadline(ctx: ExecutionContext) -> None:
+    """Raise :class:`DeadlineExceeded` once the context's deadline passes.
+
+    Called at operator boundaries and periodically inside scan loops; cost
+    is one comparison when no deadline is set.
+    """
+    deadline_at = ctx.deadline_at
+    if deadline_at is not None and time.perf_counter() > deadline_at:
+        ctx.report.deadline_exceeded = 1
+        raise DeadlineExceeded(
+            f"query exceeded its deadline mid-execution (label={ctx.report.label!r})"
+        )
 
 
 def execute_plan(plan: PlanNode, ctx: ExecutionContext) -> list[dict]:
@@ -224,7 +263,9 @@ def _execute_select(node: SelectNode, ctx: ExecutionContext) -> list[dict]:
     dedupe = _record_level_semantics(source, fields)
     started = time.perf_counter()
     rows: list[dict] = []
-    for _, record_rows, _ in _iter_record_groups(source, fields):
+    for group_index, (_, record_rows, _) in enumerate(_iter_record_groups(source, fields)):
+        if (group_index & 0xFF) == 0:
+            _check_deadline(ctx)
         satisfying = [row for row in record_rows if predicate(row)]
         if not satisfying:
             continue
@@ -270,7 +311,13 @@ def _execute_cache_scan(node: CacheScanNode, ctx: ExecutionContext) -> list[dict
     # outside any cache lock.
     offsets = entry.lazy_offsets
     if offsets is not None:
-        return _execute_lazy_cache_scan(node, ctx, offsets)
+        try:
+            return _execute_lazy_cache_scan(node, ctx, offsets)
+        except DeadlineExceeded:
+            raise
+        except Exception:
+            _quarantine_entry(node, ctx)
+            return _degraded_raw_rows(node, ctx)
 
     layout = entry.layout
     assert layout is not None
@@ -286,32 +333,39 @@ def _execute_cache_scan(node: CacheScanNode, ctx: ExecutionContext) -> list[dict
 
     started = time.perf_counter()
     layout_name = layout.layout_name
-    ranges = _vectorizable_ranges(node.residual_predicate, layout, wanted)
-    if ranges is not None:
-        # The cached data is binary and columnar: evaluate the residual range
-        # predicate vectorized and materialize only the matching rows.
-        if layout_name == "parquet":
-            rows = list(layout.scan_range_filtered(ranges, fields=wanted))
-            scanned_rows = layout.record_count
+    try:
+        ranges = _vectorizable_ranges(node.residual_predicate, layout, wanted)
+        if ranges is not None:
+            # The cached data is binary and columnar: evaluate the residual range
+            # predicate vectorized and materialize only the matching rows.
+            if layout_name == "parquet":
+                rows = list(layout.scan_range_filtered(ranges, fields=wanted))
+                scanned_rows = layout.record_count
+            else:
+                rows = list(
+                    layout.scan_range_filtered(ranges, fields=wanted, dedupe_records=dedupe)
+                )
+                scanned_rows = layout.flattened_row_count
         else:
-            rows = list(
-                layout.scan_range_filtered(ranges, fields=wanted, dedupe_records=dedupe)
-            )
-            scanned_rows = layout.flattened_row_count
-    else:
-        predicate = compile_predicate(node.residual_predicate)
-        scanned_rows = 0
-        rows = []
-        scan_kwargs = {}
-        if dedupe and layout_name in ("columnar", "row"):
-            scan_kwargs["dedupe_records"] = True
-        for row in layout.scan(fields=wanted, **scan_kwargs):
-            scanned_rows += 1
-            if predicate(row):
-                rows.append(row)
-        if layout_name in ("columnar", "row") and dedupe:
-            # The dedup scan still walks every flattened row internally.
-            scanned_rows = layout.flattened_row_count
+            predicate = compile_predicate(node.residual_predicate)
+            scanned_rows = 0
+            rows = []
+            scan_kwargs = {}
+            if dedupe and layout_name in ("columnar", "row"):
+                scan_kwargs["dedupe_records"] = True
+            for row in layout.scan(fields=wanted, **scan_kwargs):
+                scanned_rows += 1
+                if predicate(row):
+                    rows.append(row)
+            if layout_name in ("columnar", "row") and dedupe:
+                # The dedup scan still walks every flattened row internally.
+                scanned_rows = layout.flattened_row_count
+    except DeadlineExceeded:
+        raise
+    except Exception:
+        ctx.report.cache_scan_time += time.perf_counter() - started
+        _quarantine_entry(node, ctx)
+        return _degraded_raw_rows(node, ctx)
     scan_time = time.perf_counter() - started
     ctx.report.cache_scan_time += scan_time
 
@@ -348,6 +402,60 @@ def _record_cache_scan_reuse(
     )
     if switched:
         ctx.report.layout_switches += 1
+
+
+# ---------------------------------------------------------------------------
+# Poisoned-entry containment
+# ---------------------------------------------------------------------------
+def _quarantine_entry(node: CacheScanNode, ctx: ExecutionContext) -> None:
+    """Invalidate a cache entry whose scan raised (audited no-swallow sink).
+
+    The entry is evicted under its shard lock with its budget reservation and
+    occupancy released; the query then degrades to a raw-source scan instead
+    of failing.  Racing queries that already hold the entry either finish
+    their own scan or hit the same fault and find the entry already gone.
+    """
+    recache = ctx.recache
+    if recache is not None and recache.quarantine(node.entry):
+        ctx.report.quarantined_entries += 1
+
+
+def _degraded_raw_rows(node: CacheScanNode, ctx: ExecutionContext) -> list[dict]:
+    """Serve a cache-scan node from the raw source after quarantining its entry.
+
+    ``residual_predicate`` always carries the full table predicate (even on
+    exact hits), so re-applying it over a fresh raw scan reproduces the cache
+    scan's output bit for bit.
+    """
+    ctx.report.degraded_scans += 1
+    source = ctx.catalog.get(node.entry.source)
+    predicate = compile_predicate(node.residual_predicate)
+    dedupe = _record_level_semantics(source, node.fields)
+    started = time.perf_counter()
+    rows: list[dict] = []
+    for _, record_rows, _ in _iter_record_groups(source, node.fields):
+        satisfying = [row for row in record_rows if predicate(row)]
+        if not satisfying:
+            continue
+        rows.extend(satisfying[:1] if dedupe else satisfying)
+    ctx.report.operator_time += time.perf_counter() - started
+    return rows
+
+
+def _degraded_raw_batches(node: CacheScanNode, ctx: ExecutionContext) -> list[RecordBatch]:
+    """Batched counterpart of :func:`_degraded_raw_rows` (same semantics)."""
+    ctx.report.degraded_scans += 1
+    source = ctx.catalog.get(node.entry.source)
+    batch_predicate = compile_batch_predicate(node.residual_predicate)
+    dedupe = _record_level_semantics(source, node.fields)
+    started = time.perf_counter()
+    output = filter_batches(
+        source.scan_batches(node.fields, batch_size=ctx.config.batch_size),
+        batch_predicate,
+        dedupe_records=dedupe,
+    )
+    ctx.report.operator_time += time.perf_counter() - started
+    return output
 
 
 def _vectorizable_ranges(predicate, layout, wanted_fields) -> dict[str, tuple[float, float]] | None:
@@ -499,6 +607,10 @@ def _execute_materialize(node: MaterializeNode, ctx: ExecutionContext) -> list[d
     for record_index, (record, rows, approx_bytes) in enumerate(
         _iter_record_groups(source, node.fields)
     ):
+        # Admission only happens after the loop completes, so aborting on a
+        # deadline mid-scan leaves no cache state or budget reservation behind.
+        if (record_index & 0xFF) == 0:
+            _check_deadline(ctx)
         bytes_seen += approx_bytes
         satisfying = [row for row in rows if predicate(row)]
         if satisfying:
@@ -737,7 +849,7 @@ def _estimate_total_records(source: DataSource, sample_records: int, bytes_seen:
         return sample_records
     try:
         file_size = source.file_size()
-    except OSError:
+    except OSError:  # recheck-lint: allow(no-swallow) — estimate, not containment
         return sample_records
     per_record = bytes_seen / sample_records
     return max(sample_records, int(file_size / max(1.0, per_record)))
@@ -843,7 +955,13 @@ def _execute_cache_scan_batched(node: CacheScanNode, ctx: ExecutionContext) -> l
         # Lazy reuse re-reads the raw file through the positional map; its cost
         # is dominated by I/O and (on first reuse) the eager upgrade, so the
         # row implementation is shared and its output wrapped into one batch.
-        rows = _execute_lazy_cache_scan(node, ctx, offsets)
+        try:
+            rows = _execute_lazy_cache_scan(node, ctx, offsets)
+        except DeadlineExceeded:
+            raise
+        except Exception:
+            _quarantine_entry(node, ctx)
+            return _degraded_raw_batches(node, ctx)
         return [RecordBatch.from_rows(rows)] if rows else []
 
     layout = entry.layout
@@ -857,6 +975,33 @@ def _execute_cache_scan_batched(node: CacheScanNode, ctx: ExecutionContext) -> l
     dedupe = bool(schema.nested_paths()) and not accessed_nested
 
     started = time.perf_counter()
+    layout_name = layout.layout_name
+    try:
+        batches, scanned_rows = _scan_layout_batches(node, ctx, layout, dedupe)
+    except DeadlineExceeded:
+        raise
+    except Exception:
+        ctx.report.cache_scan_time += time.perf_counter() - started
+        _quarantine_entry(node, ctx)
+        return _degraded_raw_batches(node, ctx)
+    scan_time = time.perf_counter() - started
+    ctx.report.cache_scan_time += scan_time
+
+    _record_cache_scan_reuse(
+        node, ctx, layout_name, scan_time, scanned_rows, wanted, accessed_nested
+    )
+    return batches
+
+
+def _scan_layout_batches(
+    node: CacheScanNode, ctx: ExecutionContext, layout, dedupe: bool
+) -> tuple[list[RecordBatch], int]:
+    """The batched layout-scan body of :func:`_execute_cache_scan_batched`.
+
+    Factored out so the caller can wrap the whole scan in the poisoned-entry
+    containment handler; returns ``(batches, scanned_rows)``.
+    """
+    wanted = node.fields
     layout_name = layout.layout_name
     batches: list[RecordBatch] = []
     ranges = _vectorizable_ranges(node.residual_predicate, layout, wanted)
@@ -906,13 +1051,7 @@ def _execute_cache_scan_batched(node: CacheScanNode, ctx: ExecutionContext) -> l
         if layout_name in ("columnar", "row") and dedupe:
             # The dedup scan still walks every flattened row internally.
             scanned_rows = layout.flattened_row_count
-    scan_time = time.perf_counter() - started
-    ctx.report.cache_scan_time += scan_time
-
-    _record_cache_scan_reuse(
-        node, ctx, layout_name, scan_time, scanned_rows, wanted, accessed_nested
-    )
-    return batches
+    return batches, scanned_rows
 
 
 def _execute_materialize_batched(node: MaterializeNode, ctx: ExecutionContext) -> list[RecordBatch]:
@@ -972,6 +1111,9 @@ def _execute_materialize_batched(node: MaterializeNode, ctx: ExecutionContext) -
 
     operator_started = time.perf_counter()
     for scanned in source.scan_batches(node.fields, batch_size=batch_size, with_payload=True):
+        # Admission only happens after the loop completes, so aborting on a
+        # deadline mid-scan leaves no cache state or budget reservation behind.
+        _check_deadline(ctx)
         # A batch that straddles the end of the admission sample is split so
         # the decision happens after exactly ``sample_limit`` records, as in
         # the record-at-a-time path.

@@ -76,15 +76,32 @@ def required_fields(query: Query, catalog: DataSourceCatalog, source: str) -> li
 
 
 def build_plan(
-    query: Query, catalog: DataSourceCatalog, recache: ReCache | ShardedReCache | None
+    query: Query,
+    catalog: DataSourceCatalog,
+    recache: ReCache | ShardedReCache | None,
+    breaker=None,
 ) -> PlanInfo:
-    """Build the cache-aware logical plan for ``query``."""
+    """Build the cache-aware logical plan for ``query``.
+
+    ``breaker`` is an optional
+    :class:`~repro.core.circuit_breaker.SourceCircuitBreaker`: tables whose
+    source breaker is open are planned as plain raw scans — no cache lookup
+    and no materializer — so a repeatedly faulting source stops paying
+    admission overhead (and stops poisoning the cache) until its cooldown
+    elapses.
+    """
     info = PlanInfo(plan=ScanNode(source="<placeholder>"))
 
     for table in query.tables:
         fields = required_fields(query, catalog, table.source)
         info.table_fields[table.source] = fields
-        node = _plan_table(table.source, table.predicate, fields, recache, info)
+        if breaker is not None and breaker.is_open(table.source):
+            node = SelectNode(
+                child=ScanNode(source=table.source, fields=fields),
+                predicate=table.predicate,
+            )
+        else:
+            node = _plan_table(table.source, table.predicate, fields, recache, info)
         info.table_plans[table.source] = node
 
     plan = _join_tables(query, info)

@@ -55,9 +55,17 @@ class Query:
     #: representation, so the serving tier coalesces identical queries across
     #: formats and converts each duplicate's copy to its requested type.
     result_format: str | None = None
+    #: per-query deadline in seconds (wall clock from submission/execution
+    #: start), or ``None`` to follow ``ReCacheConfig.default_deadline``.
+    #: Like ``result_format``, deliberately NOT part of :meth:`signature`:
+    #: the deadline shapes *when* a result must arrive, not *what* it is,
+    #: so the serving tier still coalesces identical queries.
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         validate_result_format(self.result_format, allow_none=True)
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive or None")
         if not self.tables:
             raise ValueError("a query needs at least one table")
         sources = {t.source for t in self.tables}

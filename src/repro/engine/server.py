@@ -47,6 +47,8 @@ from __future__ import annotations
 
 # recheck-lint: check-futures — every path that creates a per-query future
 # must reach set_result/set_exception, including shutdown/exception paths.
+# recheck-lint: check-no-swallow — except blocks must re-raise, wrap in a
+# typed error, or route through an audited containment sink.
 
 import math
 import threading
@@ -57,7 +59,9 @@ from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.core.config import ReCacheConfig, validate_result_format
+from repro.core.errors import DeadlineExceeded, QueryRejected
 from repro.engine.executor import QueryReport
+from repro.faults import runtime as faults
 from repro.engine.expressions import RangePredicate
 from repro.engine.query import Query
 from repro.engine.session import QueryEngine
@@ -90,6 +94,11 @@ def merge_reports(reports: Iterable[QueryReport], label: str = "aggregate") -> Q
         merged.lazy_upgrades += report.lazy_upgrades
         merged.queue_wait_time += report.queue_wait_time
         merged.coalesced += report.coalesced
+        merged.retries += report.retries
+        merged.degraded_scans += report.degraded_scans
+        merged.quarantined_entries += report.quarantined_entries
+        merged.shed += report.shed
+        merged.deadline_exceeded += report.deadline_exceeded
         if report.queue_depth > merged.queue_depth:
             merged.queue_depth = report.queue_depth
         for kind, count in report.admissions.items():
@@ -356,6 +365,15 @@ class EngineServer:
             if self._closed:
                 raise RuntimeError("EngineServer is shut down")
             while self._pending >= self.max_pending:
+                # Load shedding: a full queue on top of heavy eviction churn
+                # means admitted work is evicting itself faster than it can be
+                # reused — reject now (typed, before any future exists) rather
+                # than queue work the cache cannot absorb.
+                if self._should_shed():
+                    raise QueryRejected(
+                        f"queue full ({self._pending} pending) under eviction "
+                        f"pressure; retry after the cache drains"
+                    )
                 self._backpressure.wait()
                 if self._closed:
                     raise RuntimeError("EngineServer is shut down")
@@ -405,16 +423,33 @@ class EngineServer:
                 raise
         return [submission.future for submission in submissions]
 
+    def _should_shed(self) -> bool:
+        """True when a full queue coincides with heavy eviction pressure.
+
+        Called with ``_lifecycle`` held; ``eviction_pressure`` takes the cache
+        locks (higher rank) internally and costs a few dict operations.
+        """
+        threshold = self.engine.config.shed_pressure_threshold
+        if threshold is None:
+            return False
+        return self.engine.recache.eviction_pressure() >= threshold
+
     def serve_all(
         self,
         queries: Sequence[Query],
         *,
         vectorized: bool | None = None,
         result_format: "str | Sequence[str | None] | None" = None,
+        timeout: float | None = None,
     ) -> list[QueryReport]:
-        """Submit a batch and wait for every report (submission order)."""
+        """Submit a batch and wait for every report (submission order).
+
+        ``timeout`` bounds the wait on *each* future (seconds); the server's
+        containment guarantees every future resolves, so a timeout firing
+        indicates a stuck worker, not normal backpressure.
+        """
         futures = self.submit_batch(queries, vectorized=vectorized, result_format=result_format)
-        return [future.result() for future in futures]
+        return [future.result(timeout) for future in futures]
 
     def _serve_group(self, group: Sequence[_Execution], vectorized: bool | None) -> None:
         """Worker entry point: run one cache-affine group through the session.
@@ -428,35 +463,64 @@ class EngineServer:
         raising callback, a broken session) must still resolve every
         remaining future — clients block on them, and their pending slots
         hold backpressure capacity — hence the catch-all that fails the
-        executions the callbacks never reached.
+        executions the callbacks never reached.  That same catch-all contains
+        injected worker crashes (``server.worker`` fault scope): a crash at
+        worker entry fails every future in the group with the typed
+        :class:`~repro.core.errors.WorkerCrashed` instead of stranding them.
+
+        Executions whose query spent its whole deadline *queued* fail with
+        :class:`DeadlineExceeded` up front instead of executing: the engine
+        measures its deadline from execution start, so queue residency is
+        this layer's responsibility.
         """
+        live = []
+        now = time.perf_counter()
+        for execution in group:
+            deadline = execution.query.deadline or self.engine.config.default_deadline
+            enqueued_at = execution.submissions[0].enqueued_at
+            if deadline is not None and now >= enqueued_at + deadline:
+                self._fail_execution(
+                    execution,
+                    DeadlineExceeded(
+                        f"query spent its deadline queued "
+                        f"(label={execution.query.label!r})"
+                    ),
+                )
+            else:
+                live.append(execution)
+        if not live:
+            return
+
         position = [0]
         execution_started = [time.perf_counter()]
 
         def resolve(query: Query, report: QueryReport) -> None:
-            execution = group[position[0]]
+            execution = live[position[0]]
             position[0] += 1
             self._resolve_execution(execution, report, execution_started[0])
             execution_started[0] = time.perf_counter()
 
         def fail(query: Query, exc: Exception) -> None:
-            execution = group[position[0]]
+            execution = live[position[0]]
             position[0] += 1
             self._fail_execution(execution, exc)
             execution_started[0] = time.perf_counter()
 
         try:
+            injector = faults.injector_for("server.worker")
+            if injector is not None:
+                injector()  # raises WorkerCrashed: contained by the catch-all
             self.engine.execute_group(
-                [execution.query for execution in group],
+                [execution.query for execution in live],
                 vectorized=vectorized,
                 # The primary submission's format drives the execution; coalesced
                 # duplicates get their own converted copies when they resolve.
-                result_formats=[execution.submissions[0].result_format for execution in group],
+                result_formats=[execution.submissions[0].result_format for execution in live],
                 on_report=resolve,
                 on_error=fail,
             )
         except BaseException as exc:
-            for execution in list(group)[position[0]:]:
+            for execution in live[position[0]:]:
                 self._fail_execution(execution, exc)
             raise
 
@@ -479,6 +543,7 @@ class EngineServer:
     ) -> None:
         primary = execution.submissions[0]
         coalesced = 0
+        settled = False
         # Every submission MUST leave this method with its future resolved and
         # its pending slot returned — a raising response_hook (or any delivery
         # bug) would otherwise hang clients and leak backpressure capacity.
@@ -487,12 +552,12 @@ class EngineServer:
             report.queue_depth = primary.queue_depth
             if self.response_hook is not None:
                 self.response_hook(report)
-            primary.future.set_result(report)
             resolved_at = time.perf_counter()
             # Cross-format conversion happens once per distinct requested
             # format, not once per duplicate — N rows-format duplicates of a
             # columnar execution share one to_rows() materialization.
             converted = {primary.result_format: report.results}
+            copies: list[tuple[_Submission, QueryReport]] = []
             for submission in execution.submissions[1:]:
                 results = converted.get(submission.result_format)
                 if results is None:
@@ -501,14 +566,24 @@ class EngineServer:
                 copy = self._coalesced_report(report, submission, resolved_at, results)
                 if self.response_hook is not None:
                     self.response_hook(copy)
-                submission.future.set_result(copy)
+                copies.append((submission, copy))
                 coalesced += 1
+            # Settle BEFORE resolving: a client that observes its future
+            # resolved must also observe the pending slots returned and
+            # ``coalesced_served`` updated (set_result cannot raise here —
+            # these futures are created unresolved and resolved only by us).
+            self._settle(len(execution.submissions), coalesced)
+            settled = True
+            primary.future.set_result(report)
+            for submission, copy in copies:
+                submission.future.set_result(copy)
         except BaseException as exc:
             for submission in execution.submissions:
                 if not submission.future.done():
                     submission.future.set_exception(exc)
         finally:
-            self._settle(len(execution.submissions), coalesced)
+            if not settled:
+                self._settle(len(execution.submissions), 0)
 
     @staticmethod
     def _coalesced_report(
@@ -541,23 +616,28 @@ class EngineServer:
             self.coalesced_served += coalesced
             self._backpressure.notify_all()
 
-    def execute(self, query: Query) -> QueryReport:
+    def execute(self, query: Query, timeout: float | None = None) -> QueryReport:
         """Execute one query through the pool and wait for its report."""
-        return self.submit(query).result()
+        return self.submit(query).result(timeout)
 
-    def execute_many(self, queries: Sequence[Query]) -> list[QueryReport]:
+    def execute_many(
+        self, queries: Sequence[Query], timeout: float | None = None
+    ) -> list[QueryReport]:
         """Execute queries as independent requests; reports in submission order.
 
         Unlike :meth:`serve_all` this performs no coalescing or grouping —
         every query is its own pool task (the per-request baseline the async
-        submission bench compares against).
+        submission bench compares against).  ``timeout`` bounds the wait on
+        each future.
         """
         futures = [self.submit(query) for query in queries]
-        return [future.result() for future in futures]
+        return [future.result(timeout) for future in futures]
 
-    def aggregate(self, queries: Sequence[Query], label: str = "aggregate") -> QueryReport:
+    def aggregate(
+        self, queries: Sequence[Query], label: str = "aggregate", timeout: float | None = None
+    ) -> QueryReport:
         """Execute queries concurrently and merge their reports."""
-        return merge_reports(self.execute_many(queries), label=label)
+        return merge_reports(self.execute_many(queries, timeout=timeout), label=label)
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle

@@ -10,14 +10,21 @@ breakdown the benchmarks consume.
 
 from __future__ import annotations
 
+# recheck-lint: check-no-swallow — except blocks in this module must re-raise,
+# wrap in a typed error, or route through an audited containment sink.
+
+import random
 import threading
 import time
 from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.core.cache_manager import ReCache
+from repro.core.circuit_breaker import SourceCircuitBreaker
 from repro.core.config import ReCacheConfig, validate_result_format
+from repro.core.errors import DeadlineExceeded, TransientScanError
 from repro.core.sharded_cache import ShardedReCache
+from repro.faults import runtime as faults
 from repro.engine.executor import (
     ExecutionContext,
     QueryReport,
@@ -53,6 +60,15 @@ class QueryEngine:
                 recache = ReCache(self.config)
         self.recache = recache
         self.catalog = DataSourceCatalog()
+        #: routes repeatedly faulting sources around the cache (see execute)
+        self.breaker = SourceCircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown=self.config.breaker_cooldown,
+        )
+        if self.config.faults:
+            # Config-driven fault plans are process-global by design: the
+            # injection points live in the shared format plugins and layouts.
+            faults.install_spec(self.config.faults, seed=self.config.seed)
         self.query_count = 0
         self._count_lock = threading.Lock()
 
@@ -98,6 +114,15 @@ class QueryEngine:
         Resolution order: explicit argument, then ``query.result_format``,
         then ``config.result_format``.  Execution, report counters and cache
         behaviour are identical in both formats.
+
+        Failure containment: the query's deadline (``query.deadline`` falling
+        back to ``config.default_deadline``) spans all attempts; a
+        :class:`~repro.core.errors.TransientScanError` is retried up to
+        ``config.scan_retry_limit`` times with jittered exponential backoff
+        (admission happens only at scan completion, so a failed attempt
+        leaves no cache state behind); each failed attempt feeds the
+        per-source circuit breaker, and queries over a tripped source are
+        planned as plain raw scans until its cooldown elapses.
         """
         config = self.config
         if vectorized is not None and vectorized != config.vectorized_execution:
@@ -105,11 +130,49 @@ class QueryEngine:
         if result_format is None:
             result_format = query.result_format or config.result_format
         validate_result_format(result_format)
+        deadline = query.deadline if query.deadline is not None else config.default_deadline
+        deadline_at = time.perf_counter() + deadline if deadline is not None else None
+        retry_limit = max(0, config.scan_retry_limit)
+        attempt = 0
+        while True:
+            try:
+                report = self._execute_attempt(query, config, result_format, deadline_at)
+            except TransientScanError as exc:
+                for table in query.tables:
+                    self.breaker.record_failure(table.source)
+                if attempt >= retry_limit:
+                    raise
+                if deadline_at is not None and time.perf_counter() >= deadline_at:
+                    raise DeadlineExceeded(
+                        f"deadline expired retrying transient scan fault "
+                        f"(label={query.label!r}, attempts={attempt + 1})"
+                    ) from exc
+                # Jittered exponential backoff; the jitter needs no
+                # determinism (fault schedules are seeded independently).
+                backoff = config.scan_retry_backoff * (2**attempt)
+                time.sleep(backoff * (0.5 + random.random() / 2))
+                attempt += 1
+                continue
+            report.retries = attempt
+            for table in query.tables:
+                self.breaker.record_success(table.source)
+            with self._count_lock:
+                self.query_count += 1
+            return report
+
+    def _execute_attempt(
+        self,
+        query: Query,
+        config: ReCacheConfig,
+        result_format: str,
+        deadline_at: float | None,
+    ) -> QueryReport:
+        """One planning + execution pass of :meth:`execute` (no retry logic)."""
         report = QueryReport(label=query.label)
         sequence = self.recache.begin_query()
         started = time.perf_counter()
 
-        plan_info = build_plan(query, self.catalog, self.recache)
+        plan_info = build_plan(query, self.catalog, self.recache, breaker=self.breaker)
         ctx = ExecutionContext(
             catalog=self.catalog,
             recache=self.recache,
@@ -117,6 +180,7 @@ class QueryEngine:
             report=report,
             sequence=sequence,
             query_started=started,
+            deadline_at=deadline_at,
         )
         if result_format == "columnar":
             results = execute_plan_columnar(plan_info.plan, ctx)
@@ -126,8 +190,6 @@ class QueryEngine:
         report.results = results
         report.rows_returned = len(results)
         report.total_time = time.perf_counter() - started
-        with self._count_lock:
-            self.query_count += 1
         return report
 
     def execute_group(

@@ -12,8 +12,10 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro.core.errors import TransientScanError
 from repro.engine.batch import RecordBatch
 from repro.engine.types import AtomType, RecordType
+from repro.faults import runtime as faults
 from repro.formats.positional_map import PositionalMap
 
 
@@ -47,19 +49,25 @@ class CSVPlugin:
         wanted = self._resolve_fields(fields)
         new_map = None if self.positional_map.complete else PositionalMap()
         offset = 0
-        with self.path.open("rb") as handle:
-            for raw_line in handle:
-                line = raw_line.rstrip(b"\r\n")
-                if not line:
-                    # Blank lines yield no record, so they must not occupy a
-                    # map ordinal either: lazy caches store *yielded* record
-                    # ordinals and resolve them through the map.
+        injector = faults.injector_for("scan.raw", self.path.name)
+        try:
+            with self.path.open("rb") as handle:
+                for raw_line in handle:
+                    line = raw_line.rstrip(b"\r\n")
+                    if not line:
+                        # Blank lines yield no record, so they must not occupy a
+                        # map ordinal either: lazy caches store *yielded* record
+                        # ordinals and resolve them through the map.
+                        offset += len(raw_line)
+                        continue
+                    if new_map is not None:
+                        new_map.add_record(offset, len(line))
                     offset += len(raw_line)
-                    continue
-                if new_map is not None:
-                    new_map.add_record(offset, len(line))
-                offset += len(raw_line)
-                yield self._parse_line(line.decode("utf-8"), wanted)
+                    if injector is not None:
+                        injector()
+                    yield self._parse_line(line.decode("utf-8"), wanted)
+        except OSError as exc:
+            raise TransientScanError(f"csv scan of {self.path.name} failed: {exc}") from exc
         if new_map is not None:
             new_map.mark_complete()
             self.positional_map = new_map
@@ -74,17 +82,23 @@ class CSVPlugin:
         wanted = self._resolve_fields(fields)
         new_map = None if self.positional_map.complete else PositionalMap()
         offset = 0
-        with self.path.open("rb") as handle:
-            for raw_line in handle:
-                line = raw_line.rstrip(b"\r\n")
-                if not line:
+        injector = faults.injector_for("scan.raw", self.path.name)
+        try:
+            with self.path.open("rb") as handle:
+                for raw_line in handle:
+                    line = raw_line.rstrip(b"\r\n")
+                    if not line:
+                        offset += len(raw_line)
+                        continue
+                    if new_map is not None:
+                        new_map.add_record(offset, len(line))
                     offset += len(raw_line)
-                    continue
-                if new_map is not None:
-                    new_map.add_record(offset, len(line))
-                offset += len(raw_line)
-                decoded = line.decode("utf-8")
-                yield decoded, self._parse_line(decoded, wanted)
+                    if injector is not None:
+                        injector()
+                    decoded = line.decode("utf-8")
+                    yield decoded, self._parse_line(decoded, wanted)
+        except OSError as exc:
+            raise TransientScanError(f"csv scan of {self.path.name} failed: {exc}") from exc
         if new_map is not None:
             new_map.mark_complete()
             self.positional_map = new_map
@@ -143,12 +157,18 @@ class CSVPlugin:
                 pass
         position_map = self.positional_map
         wanted = self._resolve_fields(fields)
-        with self.path.open("rb") as handle:
-            for index in indexes:
-                offset, length = position_map.record_span(index)
-                handle.seek(offset)
-                line = handle.read(length).decode("utf-8")
-                yield self._parse_line(line, wanted)
+        injector = faults.injector_for("scan.raw", self.path.name)
+        try:
+            with self.path.open("rb") as handle:
+                for index in indexes:
+                    offset, length = position_map.record_span(index)
+                    handle.seek(offset)
+                    line = handle.read(length).decode("utf-8")
+                    if injector is not None:
+                        injector()
+                    yield self._parse_line(line, wanted)
+        except OSError as exc:
+            raise TransientScanError(f"csv record read of {self.path.name} failed: {exc}") from exc
 
     def read_record_rows(
         self, indexes: Iterable[int], fields: Sequence[str] | None = None

@@ -14,8 +14,10 @@ import json
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro.core.errors import TransientScanError
 from repro.engine.batch import RecordBatch, approx_record_bytes
 from repro.engine.types import RecordType, flatten_record
+from repro.faults import runtime as faults
 from repro.formats.positional_map import PositionalMap
 
 
@@ -42,24 +44,30 @@ class JSONPlugin:
         wanted = set(fields) if fields is not None else None
         new_map = None if self.positional_map.complete else PositionalMap()
         offset = 0
-        with self.path.open("rb") as handle:
-            for raw_line in handle:
-                line = raw_line.rstrip(b"\r\n")
-                if not line:
-                    # Blank lines yield no record; keeping them out of the map
-                    # keeps map ordinals aligned with yielded record ordinals
-                    # (what lazy caches store).
+        injector = faults.injector_for("scan.raw", self.path.name)
+        try:
+            with self.path.open("rb") as handle:
+                for raw_line in handle:
+                    line = raw_line.rstrip(b"\r\n")
+                    if not line:
+                        # Blank lines yield no record; keeping them out of the map
+                        # keeps map ordinals aligned with yielded record ordinals
+                        # (what lazy caches store).
+                        offset += len(raw_line)
+                        continue
+                    if new_map is not None:
+                        new_map.add_record(offset, len(line))
                     offset += len(raw_line)
-                    continue
-                if new_map is not None:
-                    new_map.add_record(offset, len(line))
-                offset += len(raw_line)
-                record = json.loads(line)
-                for row in flatten_record(record, self.schema):
-                    if wanted is not None:
-                        yield {k: row.get(k) for k in wanted}
-                    else:
-                        yield row
+                    if injector is not None:
+                        injector()
+                    record = json.loads(line)
+                    for row in flatten_record(record, self.schema):
+                        if wanted is not None:
+                            yield {k: row.get(k) for k in wanted}
+                        else:
+                            yield row
+        except OSError as exc:
+            raise TransientScanError(f"json scan of {self.path.name} failed: {exc}") from exc
         if new_map is not None:
             new_map.mark_complete()
             self.positional_map = new_map
@@ -72,16 +80,22 @@ class JSONPlugin:
         """
         new_map = None if self.positional_map.complete else PositionalMap()
         offset = 0
-        with self.path.open("rb") as handle:
-            for raw_line in handle:
-                line = raw_line.rstrip(b"\r\n")
-                if not line:
+        injector = faults.injector_for("scan.raw", self.path.name)
+        try:
+            with self.path.open("rb") as handle:
+                for raw_line in handle:
+                    line = raw_line.rstrip(b"\r\n")
+                    if not line:
+                        offset += len(raw_line)
+                        continue
+                    if new_map is not None:
+                        new_map.add_record(offset, len(line))
                     offset += len(raw_line)
-                    continue
-                if new_map is not None:
-                    new_map.add_record(offset, len(line))
-                offset += len(raw_line)
-                yield json.loads(line)
+                    if injector is not None:
+                        injector()
+                    yield json.loads(line)
+        except OSError as exc:
+            raise TransientScanError(f"json scan of {self.path.name} failed: {exc}") from exc
         if new_map is not None:
             new_map.mark_complete()
             self.positional_map = new_map
@@ -157,15 +171,21 @@ class JSONPlugin:
                 pass
         position_map = self.positional_map
         wanted = set(fields) if fields is not None else None
-        with self.path.open("rb") as handle:
-            for index in indexes:
-                offset, length = position_map.record_span(index)
-                handle.seek(offset)
-                record = json.loads(handle.read(length))
-                rows = flatten_record(record, self.schema)
-                if wanted is not None:
-                    rows = [{k: row.get(k) for k in wanted} for row in rows]
-                yield rows
+        injector = faults.injector_for("scan.raw", self.path.name)
+        try:
+            with self.path.open("rb") as handle:
+                for index in indexes:
+                    offset, length = position_map.record_span(index)
+                    handle.seek(offset)
+                    if injector is not None:
+                        injector()
+                    record = json.loads(handle.read(length))
+                    rows = flatten_record(record, self.schema)
+                    if wanted is not None:
+                        rows = [{k: row.get(k) for k in wanted} for row in rows]
+                    yield rows
+        except OSError as exc:
+            raise TransientScanError(f"json record read of {self.path.name} failed: {exc}") from exc
 
     def record_count(self) -> int:
         if not self.positional_map.complete:

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.engine.batch import RecordBatch, numeric_column_array
 from repro.engine.types import RecordType
+from repro.faults import runtime as faults
 from repro.layouts.base import CacheLayout, estimate_sequence_bytes
 
 
@@ -105,9 +106,12 @@ class ColumnarLayout(CacheLayout):
             raise KeyError(f"columns not cached: {missing}")
         selected = [self._columns[f] for f in wanted]
         first_row_indexes = self._record_first_rows() if dedupe_records else None
+        injector = faults.injector_for("scan.layout", self.layout_name)
         for index, values in enumerate(zip(*selected) if selected else []):
             if first_row_indexes is not None and index not in first_row_indexes:
                 continue
+            if injector is not None:
+                injector()
             row = dict(zip(wanted, values))
             if predicate is None or predicate(row):
                 yield row
@@ -143,9 +147,12 @@ class ColumnarLayout(CacheLayout):
             f: self.numeric_array(f) if f in prime else self._numeric_arrays.get(f)
             for f in wanted
         }
+        injector = faults.injector_for("scan.layout", self.layout_name)
         if dedupe_records:
             first_rows = sorted(self._record_first_rows())
             for start in range(0, len(first_rows), batch_size):
+                if injector is not None:
+                    injector()
                 chunk = first_rows[start : start + batch_size]
                 batch = RecordBatch(
                     {f: [self._columns[f][i] for i in chunk] for f in wanted},
@@ -157,6 +164,8 @@ class ColumnarLayout(CacheLayout):
                 yield batch
             return
         for start in range(0, self._row_count, batch_size):
+            if injector is not None:
+                injector()
             stop = min(self._row_count, start + batch_size)
             batch = RecordBatch(
                 {f: self._columns[f][start:stop] for f in wanted}, row_count=stop - start
@@ -215,6 +224,9 @@ class ColumnarLayout(CacheLayout):
         Shared by the row-yielding and batch-yielding filtered scans so the
         two executor fast paths can never drift apart semantically.
         """
+        injector = faults.injector_for("scan.layout", self.layout_name)
+        if injector is not None:
+            injector()  # one opportunity per vectorized stripe read
         mask = np.ones(self._row_count, dtype=bool)
         for field, (low, high) in ranges.items():
             array = self.numeric_array(field)

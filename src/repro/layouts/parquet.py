@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.engine.batch import RecordBatch, numeric_column_array
 from repro.engine.types import RecordType
+from repro.faults import runtime as faults
 from repro.layouts.assembly import (
     assemble_columns,
     assemble_records,
@@ -96,10 +97,16 @@ class ParquetLayout(CacheLayout):
         missing = [f for f in wanted if f not in self._columns]
         if missing:
             raise KeyError(f"columns not cached: {missing}")
+        injector = faults.injector_for("scan.layout", self.layout_name)
         if wanted and all(not self._columns[f].is_nested for f in wanted):
-            yield from self._scan_flat(wanted, predicate)
+            for row in self._scan_flat(wanted, predicate):
+                if injector is not None:
+                    injector()
+                yield row
             return
         for row in assemble_rows(self._columns, self.schema, wanted):
+            if injector is not None:
+                injector()
             if predicate is None or predicate(row):
                 yield row
 
@@ -137,6 +144,7 @@ class ParquetLayout(CacheLayout):
         missing = [f for f in wanted if f not in self._columns]
         if missing:
             raise KeyError(f"columns not cached: {missing}")
+        injector = faults.injector_for("scan.layout", self.layout_name)
         flat_columns = {
             f: self._columns[f].flat_values(self._record_count) for f in wanted
         }
@@ -147,6 +155,8 @@ class ParquetLayout(CacheLayout):
                 for f in wanted
             }
             for start in range(0, self._record_count, batch_size):
+                if injector is not None:
+                    injector()
                 stop = min(self._record_count, start + batch_size)
                 batch = RecordBatch(
                     {f: values[start:stop] for f, values in flat_columns.items()},
@@ -160,6 +170,8 @@ class ParquetLayout(CacheLayout):
         pruned = prune_schema(self.schema, wanted)
         columns, row_count = assemble_columns(self._columns, pruned, wanted)
         for start in range(0, row_count, batch_size):
+            if injector is not None:
+                injector()
             stop = min(row_count, start + batch_size)
             yield RecordBatch(
                 {f: col[start:stop] for f, col in columns.items()},
@@ -217,6 +229,9 @@ class ParquetLayout(CacheLayout):
         for nested or non-numeric columns among the filtered *or* projected
         fields (callers check :meth:`supports_range_filter` first).
         """
+        injector = faults.injector_for("scan.layout", self.layout_name)
+        if injector is not None:
+            injector()  # one opportunity per vectorized stripe read
         arrays = {}
         for field in set(wanted) | set(ranges):
             array = self.numeric_array(field)

@@ -12,6 +12,7 @@ from typing import Callable, Iterator, Sequence
 
 from repro.engine.batch import RecordBatch
 from repro.engine.types import RecordType
+from repro.faults import runtime as faults
 from repro.layouts.base import CacheLayout, estimate_sequence_bytes
 
 
@@ -84,9 +85,12 @@ class RowLayout(CacheLayout):
         wanted = list(fields) if fields is not None else list(self.fields)
         indexes = [self._field_index[f] for f in wanted]
         first_rows = self._record_first_rows() if dedupe_records else None
+        injector = faults.injector_for("scan.layout", self.layout_name)
         for position, tup in enumerate(self._tuples):
             if first_rows is not None and position not in first_rows:
                 continue
+            if injector is not None:
+                injector()
             row = {name: tup[idx] for name, idx in zip(wanted, indexes)}
             if predicate is None or predicate(row):
                 yield row
@@ -105,7 +109,10 @@ class RowLayout(CacheLayout):
             tuples = [t for i, t in enumerate(self._tuples) if i in first_rows]
         else:
             tuples = self._tuples
+        injector = faults.injector_for("scan.layout", self.layout_name)
         for start in range(0, len(tuples), batch_size):
+            if injector is not None:
+                injector()
             chunk = tuples[start : start + batch_size]
             columns = {name: [t[i] for t in chunk] for name, i in zip(wanted, indexes)}
             yield RecordBatch(columns, row_count=len(chunk))

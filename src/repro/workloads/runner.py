@@ -160,6 +160,11 @@ def _measurement(index: int, query: Query, report: QueryReport) -> dict:
         "queue_wait_time": report.queue_wait_time,
         "queue_depth": report.queue_depth,
         "coalesced": report.coalesced,
+        "retries": report.retries,
+        "degraded_scans": report.degraded_scans,
+        "quarantined_entries": report.quarantined_entries,
+        "shed": report.shed,
+        "deadline_exceeded": report.deadline_exceeded,
     }
 
 
@@ -221,14 +226,28 @@ class ConcurrentWorkloadRunner:
 
     ``think_time`` inserts a per-query client-side pause (models the network
     round-trip / render time of a remote client between requests).
+
+    Every wait in the driver is bounded by ``request_timeout`` (seconds):
+    the server's containment guarantees every future resolves, so an elapsed
+    timeout means a stuck worker and surfaces as a ``TimeoutError`` instead
+    of a silent hang of the whole run.
     """
 
-    def __init__(self, server: EngineServer, clients: int = 4, seed: int = 33) -> None:
+    def __init__(
+        self,
+        server: EngineServer,
+        clients: int = 4,
+        seed: int = 33,
+        request_timeout: float = 120.0,
+    ) -> None:
         if clients < 1:
             raise ValueError("clients must be >= 1")
+        if request_timeout <= 0:
+            raise ValueError("request_timeout must be > 0")
         self.server = server
         self.clients = clients
         self.seed = seed
+        self.request_timeout = request_timeout
 
     def run(
         self,
@@ -251,14 +270,14 @@ class ConcurrentWorkloadRunner:
             reports: list[QueryReport] = []
             for step in range(per_client):
                 query = pool[sampler.sample(rng)]
-                report = self.server.execute(query)
+                report = self.server.execute(query, timeout=self.request_timeout)
                 result.per_query.append(_measurement(step, query, report))
                 reports.append(report)
                 if think_time > 0.0:
                     time.sleep(think_time)
             return result, reports
 
-        return self._drive(run_client, label)
+        return self._drive(run_client, label, self._wait_bound(per_client, think_time))
 
     def run_batched(
         self,
@@ -297,7 +316,8 @@ class ConcurrentWorkloadRunner:
             while step < per_client:
                 round_size = min(batch_size, per_client - step)
                 batch = [pool[sampler.sample(rng)] for _ in range(round_size)]
-                for offset, report in enumerate(self.server.serve_all(batch)):
+                round_reports = self.server.serve_all(batch, timeout=self.request_timeout)
+                for offset, report in enumerate(round_reports):
                     result.per_query.append(_measurement(step + offset, batch[offset], report))
                     reports.append(report)
                 step += round_size
@@ -305,16 +325,21 @@ class ConcurrentWorkloadRunner:
                     time.sleep(think_time)
             return result, reports
 
-        return self._drive(run_client, label)
+        return self._drive(run_client, label, self._wait_bound(per_client, think_time))
 
-    def _drive(self, run_client, label: str) -> ConcurrentWorkloadResult:
+    def _wait_bound(self, per_client: int, think_time: float) -> float:
+        """Upper bound on one client's loop: every request is individually
+        bounded by ``request_timeout``, plus think time and scheduling slack."""
+        return per_client * (self.request_timeout + think_time) + 60.0
+
+    def _drive(self, run_client, label: str, wait_bound: float) -> ConcurrentWorkloadResult:
         """Run one closed-loop client function per client thread and merge."""
         started = time.perf_counter()
         with ThreadPoolExecutor(
             max_workers=self.clients, thread_name_prefix="recache-client"
         ) as pool_executor:
             futures = [pool_executor.submit(run_client, index) for index in range(self.clients)]
-            outcomes = [future.result() for future in futures]
+            outcomes = [future.result(timeout=wait_bound) for future in futures]
         wall_time = time.perf_counter() - started
 
         per_client_results = [result for result, _ in outcomes]

@@ -51,6 +51,43 @@ def build_engine(dataset_dir, config: ReCacheConfig) -> QueryEngine:
 
 
 # ---------------------------------------------------------------------------
+# Budget/occupancy conservation — the chaos suite's leak detector
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def assert_budget_conserved():
+    """Register caches; teardown asserts their accounting returned to baseline.
+
+    Usage: ``assert_budget_conserved(engine.recache)`` (returns the cache, so
+    it chains).  At teardown every tracked cache must satisfy conservation:
+    zero outstanding :class:`~repro.core.sharded_cache.SharedBudget`
+    reservations (every ``try_reserve`` was settled by a release) and
+    occupancy equal to the bytes of the entries actually resident — exactly
+    what a test that raises mid-admission, mid-eviction or mid-quarantine is
+    trying to violate.
+    """
+    tracked = []
+
+    def track(recache):
+        tracked.append(recache)
+        return recache
+
+    yield track
+
+    for recache in tracked:
+        budget = getattr(recache, "budget", None)
+        if budget is not None:
+            assert budget.reserved == 0, (
+                f"leaked budget reservation: {budget.reserved} bytes still "
+                "reserved after all queries settled"
+            )
+        resident = sum(entry.nbytes for entry in recache.entries())
+        assert recache.total_bytes == resident, (
+            f"occupancy {recache.total_bytes} != resident entry bytes "
+            f"{resident}: admission/eviction accounting leaked"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Runtime lock-order watchdog (tsan-lite) — see repro.analysis.lock_watchdog
 # ---------------------------------------------------------------------------
 @pytest.fixture()

@@ -1,0 +1,43 @@
+"""Seeded ``no-swallow`` violation for the self-test.
+
+No locks, no futures: the file exercises only the exception-outcome rule,
+so the other rule families stay quiet on it.
+"""
+
+# recheck-lint: check-no-swallow
+
+from __future__ import annotations
+
+
+class MiniExecutor:
+    """The shape of the real executor's containment, reduced to handlers."""
+
+    def __init__(self, recache, log) -> None:
+        self.recache = recache
+        self.log = log
+
+    def good_reraise_wrapped(self, entry):
+        try:
+            return entry.layout.scan()
+        except OSError as exc:
+            raise RuntimeError(f"scan of {entry} failed") from exc
+
+    def good_containment_sink(self, entry):
+        try:
+            return entry.layout.scan()
+        except Exception:
+            self.recache.quarantine(entry)
+            return []
+
+    def good_deliberate_allow(self, entry):
+        try:
+            return entry.nbytes
+        except AttributeError:  # recheck-lint: allow(no-swallow) — size probe
+            return 0
+
+    def bad_swallow(self, entry):
+        try:
+            return entry.layout.scan()
+        except Exception:  # PLANTED: no-swallow
+            self.log.append("scan failed")
+            return []

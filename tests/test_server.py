@@ -35,7 +35,7 @@ def server_engine(dataset_dir):
 def test_execute_many_preserves_submission_order(server_engine):
     queries = _pool(10)
     with EngineServer(server_engine) as server:
-        reports = server.execute_many(queries)
+        reports = server.execute_many(queries, timeout=30.0)
     assert [report.label for report in reports] == [query.label for query in queries]
     assert server_engine.query_count == 10
     # Concurrent results must match a sequential re-execution of the same pool.
@@ -48,7 +48,7 @@ def test_execute_many_preserves_submission_order(server_engine):
 def test_server_aggregates_reports(server_engine):
     queries = _pool(6)
     with EngineServer(server_engine) as server:
-        aggregate = server.aggregate(queries, label="window")
+        aggregate = server.aggregate(queries, label="window", timeout=30.0)
     assert aggregate.label == "window"
     assert aggregate.exact_hits + aggregate.subsumption_hits + aggregate.misses == 6
     assert aggregate.rows_returned == 6  # one aggregate row per query
