@@ -27,8 +27,8 @@ _FORBIDDEN_NAMES = frozenset({"list", "sorted"})
 _FORBIDDEN_ATTRS = frozenset({"tolist", "to_rows", "fromiter"})
 
 
-def check(modules: list[Module], classes: dict[str, ClassInfo]) -> list[Violation]:
-    del classes
+def check(modules: list[Module], classes: dict[str, ClassInfo], graph=None) -> list[Violation]:
+    del classes, graph
     violations: list[Violation] = []
     for module in modules:
         for node in ast.walk(module.tree):

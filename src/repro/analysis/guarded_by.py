@@ -28,7 +28,8 @@ RULE = "guarded-by"
 _EXEMPT_METHODS = {"__init__", "__post_init__"}
 
 
-def check(modules: list[Module], classes: dict[str, ClassInfo]) -> list[Violation]:
+def check(modules: list[Module], classes: dict[str, ClassInfo], graph=None) -> list[Violation]:
+    del graph
     violations: list[Violation] = []
     for info in classes.values():
         if not info.guarded:

@@ -1,9 +1,11 @@
 """recheck-lint CLI: ``python -m repro.analysis.lint src [--json report.json]``.
 
-Parses every ``.py`` file under the given paths and runs the five rule
+Parses every ``.py`` file under the given paths and runs the seven rule
 families (guarded-by, lock-order + heavy-work, future-resolution,
-dtype-view, no-swallow).  Exits 1 when any violation is found; ``--json``
-also writes a machine-readable report (archived as a CI artifact).
+dtype-view, no-swallow, raise-flow + reservation-leak, hotpath).  Exits 1
+when any violation is found; ``--json`` also writes a machine-readable
+report (archived as a CI artifact) carrying the inferred per-function
+exception sets, the call-graph warnings and the analyzer wall time.
 """
 
 from __future__ import annotations
@@ -11,23 +13,36 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
-from repro.analysis import dtype_views, futures, guarded_by, lock_order, no_swallow
+from repro.analysis import (
+    dtype_views,
+    futures,
+    guarded_by,
+    hotpath,
+    lock_order,
+    no_swallow,
+    raises,
+)
+from repro.analysis.callgraph import build_call_graph
 from repro.analysis.common import Module, Violation, collect_classes, iter_py_files
 
-#: rule-family name -> checker; each gets (modules, classes).
+#: rule-family name -> checker; each gets (modules, classes, graph).
 CHECKERS = {
     "guarded-by": guarded_by.check,
     "lock-order": lock_order.check,
     "future-resolution": futures.check,
     "dtype-view": dtype_views.check,
     "no-swallow": no_swallow.check,
+    "raise-flow": raises.check,
+    "hotpath": hotpath.check,
 }
 
 
 def run_lint(paths: list[Path], rules: list[str] | None = None) -> tuple[list[Violation], dict]:
     """Run the selected rule families; return (violations, JSON report)."""
+    started = time.perf_counter()
     files = iter_py_files(paths)
     modules: list[Module] = []
     errors: list[str] = []
@@ -37,11 +52,12 @@ def run_lint(paths: list[Path], rules: list[str] | None = None) -> tuple[list[Vi
         except SyntaxError as exc:
             errors.append(f"{path}: syntax error: {exc}")
     classes = collect_classes(modules)
+    graph = build_call_graph(modules, classes)
     violations: list[Violation] = []
     for name, checker in CHECKERS.items():
         if rules is not None and name not in rules:
             continue
-        violations.extend(checker(modules, classes))
+        violations.extend(checker(modules, classes, graph))  # dynamic-call: check
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     report = {
         "tool": "recheck-lint",
@@ -51,6 +67,9 @@ def run_lint(paths: list[Path], rules: list[str] | None = None) -> tuple[list[Vi
         "parse_errors": errors,
         "violation_count": len(violations),
         "violations": [violation.as_dict() for violation in violations],
+        "callgraph_warnings": graph.warnings,
+        "raise_sets": raises.compute_raise_sets(modules, classes, graph),
+        "wall_time_seconds": round(time.perf_counter() - started, 3),
     }
     return violations, report
 
@@ -84,7 +103,8 @@ def main(argv: list[str] | None = None) -> int:
         Path(options.json).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     summary = (
         f"recheck-lint: {report['violation_count']} violation(s) "
-        f"in {report['files_scanned']} file(s)"
+        f"in {report['files_scanned']} file(s) "
+        f"({report['wall_time_seconds']:.2f}s)"
     )
     print(summary)
     return 1 if (violations or report["parse_errors"]) else 0

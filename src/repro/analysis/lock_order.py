@@ -187,7 +187,8 @@ def _call_name(node: ast.Call) -> str | None:
     return None
 
 
-def check(modules: list[Module], classes: dict[str, ClassInfo]) -> list[Violation]:
+def check(modules: list[Module], classes: dict[str, ClassInfo], graph=None) -> list[Violation]:
+    del graph
     violations: list[Violation] = []
     ranks_by_module = {id(module): _module_ranks(module) for module in modules}
     for info in classes.values():

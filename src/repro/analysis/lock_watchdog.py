@@ -78,7 +78,10 @@ class _WatchedLock:
         acquired = self.inner.acquire(blocking, timeout)
         watchdog = _current()
         if acquired and watchdog is not None:
-            watchdog._record_acquire(self, _acquisition_site())
+            # A LockOrderError here is fatal diagnostics by design: the test
+            # harness wants the inverted acquisition to stay visible, not be
+            # rolled back.
+            watchdog._record_acquire(self, _acquisition_site())  # recheck-lint: allow(reservation-leak)
         return acquired
 
     def release(self) -> None:

@@ -48,8 +48,8 @@ SINKS: frozenset[str] = frozenset(
 )
 
 
-def check(modules: list[Module], classes: dict[str, ClassInfo]) -> list[Violation]:
-    del classes
+def check(modules: list[Module], classes: dict[str, ClassInfo], graph=None) -> list[Violation]:
+    del classes, graph
     violations: list[Violation] = []
     for module in modules:
         if not module.has_marker(MARKER):

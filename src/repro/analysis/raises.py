@@ -1,0 +1,632 @@
+"""Rules ``raise-flow`` and ``reservation-leak``.
+
+``raise-flow`` infers, for every project function, the transitive set of
+:class:`~repro.core.errors.ReCacheError` subclasses it may raise: direct
+``raise`` statements and ``# may-raise:`` site annotations seed the sets,
+call edges from the project :mod:`~repro.analysis.callgraph` propagate them,
+and ``except`` clauses narrow them — an ``except`` catches the matching
+subset (subclasses included), a bare ``raise``/``raise exc`` in the handler
+re-raises exactly what it caught, and raises *inside* handler bodies escape
+the try that owns the handler.  The resulting escape sets are checked against
+the declared containment contracts
+(:data:`repro.analysis.contracts.RAISE_CONTRACTS`, extendable per module with
+a ``RECHECK_RAISE_CONTRACTS`` literal): a contracted function whose inferred
+set exceeds its declaration is flagged at its ``def`` line.
+
+Known over/under-approximations, all deliberate:
+
+* calls through locals/parameters with no annotation contribute nothing
+  (the call graph reports them as warnings, not silent holes);
+* a callable passed as an argument (worker targets, callbacks) is not a call
+  edge — on this tree those run on other threads behind their own contracts;
+* narrowing is type-based, not path-sensitive: a conditional re-raise counts
+  as always re-raising (escape sets only ever over-approximate).
+
+``reservation-leak`` is the companion leak check: after a function acquires
+a :class:`~repro.core.sharded_cache.SharedBudget` reservation (a non-zero
+``self._reservation = ...`` store, a call to a method that makes one and
+returns without settling, or a bare ``lock.acquire()``), every following
+statement that may raise — a ``raise``, an annotated or opaque call, or a
+call whose transitive closure contains any ``raise`` — must sit inside a
+``try`` whose ``finally``/handler settles (``_settle_reservation``/
+``release``); otherwise the exception edge leaks the reservation and the
+budget underflows forever.  A ``# caller-settles: reservation`` comment on a
+``def`` line declares the admission protocol's split-ownership case: the
+function intentionally returns with the reservation outstanding, so *its*
+body is exempt while every call *to* it sets the held state in the caller
+(mirroring ``# caller-holds:`` for locks).  Suppress either rule per line
+with ``# recheck-lint: allow(raise-flow)`` / ``allow(reservation-leak)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import CallGraph, build_call_graph, parse_may_raise
+from repro.analysis.common import ClassInfo, Module, Violation
+from repro.analysis.contracts import RAISE_CONTRACTS
+
+RULE = "raise-flow"
+LEAK_RULE = "reservation-leak"
+
+#: error taxonomy root: every class transitively deriving from it is tracked
+TAXONOMY_ROOT = "ReCacheError"
+
+#: handler types that catch the whole taxonomy
+_CATCH_ALL_NAMES = frozenset({"Exception", "BaseException", TAXONOMY_ROOT})
+
+
+# ---------------------------------------------------------------------------
+# Error taxonomy
+# ---------------------------------------------------------------------------
+def error_taxonomy(classes: dict[str, ClassInfo]) -> dict[str, frozenset[str]]:
+    """name -> descendants (self included) for every ReCacheError subclass."""
+
+    def reaches_root(name: str, seen: frozenset[str]) -> bool:
+        if name == TAXONOMY_ROOT:
+            return True
+        info = classes.get(name)
+        if info is None or name in seen:
+            return False
+        return any(
+            base == TAXONOMY_ROOT or reaches_root(base, seen | {name})
+            for base in info.bases
+        )
+
+    members = {name for name in classes if reaches_root(name, frozenset())}
+
+    def ancestors(name: str) -> set[str]:
+        out: set[str] = set()
+        stack = [name]
+        while stack:
+            info = classes.get(stack.pop())
+            if info is None:
+                continue
+            for base in info.bases:
+                if base in members and base not in out:
+                    out.add(base)
+                    stack.append(base)
+        return out
+
+    descendants: dict[str, set[str]] = {name: {name} for name in members}
+    for name in members:
+        for ancestor in ancestors(name):
+            descendants[ancestor].add(name)
+    return {name: frozenset(desc) for name, desc in descendants.items()}
+
+
+def _expand(
+    catch_names: tuple[str, ...] | None,
+    taxonomy: dict[str, frozenset[str]],
+    universe: frozenset[str],
+) -> frozenset[str]:
+    """Taxonomy members caught by one ``except`` clause."""
+    if catch_names is None:
+        return universe
+    caught: set[str] = set()
+    for name in catch_names:
+        if name in _CATCH_ALL_NAMES:
+            return universe
+        caught |= taxonomy.get(name, frozenset())
+    return frozenset(caught)
+
+
+# ---------------------------------------------------------------------------
+# Per-function raise sources (with their protecting try frames)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Frame:
+    """One ``try`` protecting a source: its handlers, in order."""
+
+    #: (caught type names or None for bare except, handler re-raises)
+    handlers: tuple[tuple[tuple[str, ...] | None, bool], ...]
+
+
+@dataclass
+class _Source:
+    kind: str  # "raise" | "call"
+    data: object  # frozenset[str] for raises, ast.Call for calls
+    line: int
+    chain: tuple[_Frame, ...]  # innermost-first protecting frames
+
+
+def _catch_names(handler: ast.excepthandler) -> tuple[str, ...] | None:
+    node = handler.type
+    if node is None:
+        return None
+    elts = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for elt in elts:
+        if isinstance(elt, ast.Name):
+            names.append(elt.id)
+        elif isinstance(elt, ast.Attribute):
+            names.append(elt.attr)
+    return tuple(names)
+
+
+def _handler_reraises(handler: ast.excepthandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            if node.exc is None:
+                return True
+            if (
+                isinstance(node.exc, ast.Name)
+                and handler.name is not None
+                and node.exc.id == handler.name
+            ):
+                return True
+    return False
+
+
+def _frame_of(stmt: ast.Try) -> _Frame:
+    return _Frame(
+        handlers=tuple(
+            (_catch_names(handler), _handler_reraises(handler))
+            for handler in stmt.handlers
+        )
+    )
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+def collect_sources(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    taxonomy: dict[str, frozenset[str]],
+) -> list[_Source]:
+    """Every raise site and call site of ``func`` with its try-frame chain."""
+    sources: list[_Source] = []
+
+    def walk_stmts(stmts, chain, handler_var):
+        for stmt in stmts:
+            walk_stmt(stmt, chain, handler_var)
+
+    def collect_calls(expr: ast.expr, chain) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                sources.append(_Source("call", node, node.lineno, chain))
+
+    def walk_stmt(stmt, chain, handler_var):
+        if isinstance(stmt, ast.Try):
+            frame = _frame_of(stmt)
+            walk_stmts(stmt.body, (frame,) + chain, handler_var)
+            walk_stmts(stmt.orelse, chain, handler_var)
+            for handler in stmt.handlers:
+                walk_stmts(handler.body, chain, handler.name or handler_var)
+            walk_stmts(stmt.finalbody, chain, handler_var)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs are merged into the enclosing function; their
+            # lexical try context matches how this tree invokes them.
+            walk_stmts(stmt.body, chain, None)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            return
+        if isinstance(stmt, ast.Raise):
+            is_reraise = stmt.exc is None or (
+                isinstance(stmt.exc, ast.Name) and stmt.exc.id == handler_var
+            )
+            if not is_reraise:
+                name = _raised_name(stmt)
+                if name is not None and name in taxonomy:
+                    sources.append(
+                        _Source("raise", frozenset({name}), stmt.lineno, chain)
+                    )
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                walk_stmt(child, chain, handler_var)
+            elif isinstance(child, ast.expr):
+                collect_calls(child, chain)
+            elif isinstance(child, ast.withitem):
+                collect_calls(child.context_expr, chain)
+            elif isinstance(child, ast.excepthandler):  # pragma: no cover
+                walk_stmts(child.body, chain, child.name or handler_var)
+
+    walk_stmts(func.body, (), None)
+    return sources
+
+
+def _escaped(
+    raised: frozenset[str],
+    chain: tuple[_Frame, ...],
+    taxonomy: dict[str, frozenset[str]],
+    universe: frozenset[str],
+) -> frozenset[str]:
+    """What survives the protecting try frames, innermost first."""
+    for frame in chain:
+        if not raised:
+            break
+        escaping: set[str] = set()
+        remaining = set(raised)
+        for catch_names, reraises in frame.handlers:
+            caught = remaining & _expand(catch_names, taxonomy, universe)
+            remaining -= caught
+            if reraises:
+                escaping |= caught
+        raised = frozenset(escaping | remaining)
+    return raised
+
+
+# ---------------------------------------------------------------------------
+# Fixed-point escape sets over the call graph
+# ---------------------------------------------------------------------------
+def compute_escapes(
+    graph: CallGraph, taxonomy: dict[str, frozenset[str]]
+) -> dict[str, frozenset[str]]:
+    """fid -> transitive ReCacheError escape set, via fixed-point iteration."""
+    universe = frozenset(taxonomy)
+    sources = {
+        fid: collect_sources(info.node, taxonomy)
+        for fid, info in graph.functions.items()
+    }
+    escapes: dict[str, frozenset[str]] = {fid: frozenset() for fid in graph.functions}
+    changed = True
+    while changed:
+        changed = False
+        for fid, function_sources in sources.items():
+            out: set[str] = set()
+            for source in function_sources:
+                if source.kind == "raise":
+                    raised = source.data
+                else:
+                    call = source.data
+                    raised = parse_may_raise(
+                        graph.functions[fid].module.comment(source.line)
+                    ) & universe
+                    for target in graph.call_targets.get(id(call), ()):
+                        raised |= escapes[target]
+                out |= _escaped(frozenset(raised), source.chain, taxonomy, universe)
+            new = frozenset(out)
+            if new != escapes[fid]:
+                escapes[fid] = new
+                changed = True
+    return escapes
+
+
+def compute_raise_sets(
+    modules: list[Module],
+    classes: dict[str, ClassInfo],
+    graph: CallGraph | None = None,
+) -> dict[str, list[str]]:
+    """display name -> sorted inferred escape set (non-empty only).
+
+    This is what the CI report archives: the per-function exception sets the
+    contract check ran against, unioned across same-named definitions.
+    """
+    if graph is None:
+        graph = build_call_graph(modules, classes)
+    taxonomy = error_taxonomy(classes)
+    escapes = compute_escapes(graph, taxonomy)
+    merged: dict[str, set[str]] = {}
+    for fid, names in escapes.items():
+        if names:
+            merged.setdefault(graph.functions[fid].display, set()).update(names)
+    return {display: sorted(names) for display, names in sorted(merged.items())}
+
+
+# ---------------------------------------------------------------------------
+# Contract check
+# ---------------------------------------------------------------------------
+def _module_contracts(module: Module) -> dict[str, frozenset[str]]:
+    """``RECHECK_RAISE_CONTRACTS = {"Class.method": ["Err"]}`` extension."""
+    for stmt in module.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "RECHECK_RAISE_CONTRACTS"
+        ):
+            try:
+                value = ast.literal_eval(stmt.value)
+            except (ValueError, SyntaxError):
+                return {}
+            if isinstance(value, dict):
+                return {
+                    str(name): frozenset(str(e) for e in errors)
+                    for name, errors in value.items()
+                }
+    return {}
+
+
+def merged_contracts(modules: list[Module]) -> dict[str, frozenset[str]]:
+    contracts = dict(RAISE_CONTRACTS)
+    for module in modules:
+        contracts.update(_module_contracts(module))
+    return contracts
+
+
+def check(
+    modules: list[Module],
+    classes: dict[str, ClassInfo],
+    graph: CallGraph | None = None,
+) -> list[Violation]:
+    if graph is None:
+        graph = build_call_graph(modules, classes)
+    taxonomy = error_taxonomy(classes)
+    escapes = compute_escapes(graph, taxonomy)
+    violations: list[Violation] = []
+    for qualname, allowed in sorted(merged_contracts(modules).items()):
+        for fid in graph.by_name(qualname):
+            info = graph.functions[fid]
+            leaked = escapes[fid] - allowed
+            if not leaked or info.module.allows(info.node.lineno, RULE):
+                continue
+            allowed_text = ", ".join(sorted(allowed)) if allowed else "nothing"
+            violations.append(
+                Violation(
+                    rule=RULE,
+                    path=str(info.module.path),
+                    line=info.node.lineno,
+                    message=(
+                        f"{info.display} may raise {', '.join(sorted(leaked))} — "
+                        f"escapes its declared containment boundary "
+                        f"(contract allows: {allowed_text})"
+                    ),
+                )
+            )
+    violations.extend(_reservation_leaks(graph))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Reservation/lock leak check
+# ---------------------------------------------------------------------------
+#: attribute calls that cannot raise in practice (bookkeeping primitives)
+_SAFE_LEAK_ATTRS = frozenset(
+    {
+        "get", "append", "extend", "pop", "popleft", "add", "discard",
+        "items", "keys", "values", "setdefault", "update", "remove",
+        "perf_counter", "monotonic", "locked",
+    }
+)
+
+_SETTLE_NAMES = frozenset({"_settle_reservation", "release"})
+
+_CALLER_SETTLES_RE = re.compile(r"caller-settles")
+
+
+def _caller_settles(info) -> bool:
+    return bool(_CALLER_SETTLES_RE.search(info.module.comment(info.node.lineno)))
+
+
+def _compute_may_raise_any(graph: CallGraph) -> dict[str, bool]:
+    """fid -> function (or anything it calls) contains any ``raise`` at all."""
+    direct: dict[str, bool] = {}
+    for fid, info in graph.functions.items():
+        direct[fid] = any(isinstance(node, ast.Raise) for node in ast.walk(info.node)) or bool(
+            graph.site_raises.get(fid)
+        )
+    result = dict(direct)
+    changed = True
+    while changed:
+        changed = False
+        for fid in graph.functions:
+            if result[fid]:
+                continue
+            if any(result.get(callee, False) for callee in graph.edges.get(fid, ())):
+                result[fid] = True
+                changed = True
+    return result
+
+
+def _assigns_reservation(node: ast.stmt) -> bool | None:
+    """True: non-zero ``self._reservation`` store; False: zeroing store."""
+    if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        return None
+    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+    for target in targets:
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == "_reservation"
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            value = getattr(node, "value", None)
+            if isinstance(value, ast.Constant) and value.value == 0:
+                return False
+            return True
+    return None
+
+
+def _is_acquirer(info, graph: CallGraph) -> bool:
+    """Directly makes a non-zero reservation and returns without settling."""
+    makes = False
+    settles = False
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.stmt) and _assigns_reservation(node) is True:
+            makes = True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "_settle_reservation"
+        ):
+            settles = True
+    return makes and not settles
+
+
+def _call_attr(node: ast.Call) -> str | None:
+    return node.func.attr if isinstance(node.func, ast.Attribute) else None
+
+
+class _LeakScanner:
+    """Tracks the acquired-reservation state through one function body."""
+
+    def __init__(self, graph: CallGraph, info, acquirers: set[str], may_raise: dict[str, bool]):
+        self.graph = graph
+        self.info = info
+        self.acquirers = acquirers
+        self.may_raise = may_raise
+        self.acquired = False
+        self.violations: list[Violation] = []
+
+    def scan(self) -> list[Violation]:
+        self._walk(self.info.node.body, protected=False, cleanup=False)
+        return self.violations
+
+    # -- state triggers -----------------------------------------------------
+    def _update_state(self, stmt: ast.stmt) -> None:
+        """Apply this statement's *own* acquire/settle effects (not children's)."""
+        assigned = _assigns_reservation(stmt)
+        if assigned is not None:
+            self.acquired = assigned
+        for expr in self._own_exprs(stmt):
+            for node in ast.walk(expr):
+                if not isinstance(node, ast.Call):
+                    continue
+                attr = _call_attr(node)
+                if attr in _SETTLE_NAMES:
+                    self.acquired = False
+                elif attr == "acquire":
+                    self.acquired = True
+                elif self.graph.call_targets.get(id(node)) and any(
+                    target in self.acquirers
+                    for target in self.graph.call_targets[id(node)]
+                ):
+                    self.acquired = True
+
+    # -- risk ---------------------------------------------------------------
+    def _risky_call(self, node: ast.Call) -> str | None:
+        line_comment = self.info.module.comment(node.lineno)
+        attr = _call_attr(node)
+        if attr in _SETTLE_NAMES or attr == "acquire" or attr in _SAFE_LEAK_ATTRS:
+            return None
+        if parse_may_raise(line_comment):
+            return attr or getattr(node.func, "id", "?")
+        targets = self.graph.call_targets.get(id(node))
+        if targets:
+            if any(self.may_raise.get(t, False) for t in targets):
+                return self.graph.functions[targets[0]].display
+            return None
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            import builtins
+
+            if (
+                name in dir(builtins)
+                or name in self.info.nested_names
+                or name in self.graph._classes
+            ):
+                return None
+            return name  # opaque local callable: conservatively risky
+        return None  # unresolved attribute call: external bookkeeping
+
+    def _flag(self, line: int, what: str) -> None:
+        if self.info.module.allows(line, LEAK_RULE):
+            return
+        self.violations.append(
+            Violation(
+                rule=LEAK_RULE,
+                path=str(self.info.module.path),
+                line=line,
+                message=(
+                    f"{self.info.display}: {what} while a reservation/lock is "
+                    "held with no enclosing try/finally that settles it — an "
+                    "exception here leaks the reservation "
+                    "(wrap in try/finally: _settle_reservation()/release())"
+                ),
+            )
+        )
+
+    # -- walking ------------------------------------------------------------
+    def _walk(self, stmts: list[ast.stmt], protected: bool, cleanup: bool) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt, protected, cleanup)
+
+    def _walk_stmt(self, stmt: ast.stmt, protected: bool, cleanup: bool) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.Try):
+            body_protected = protected or self._try_settles(stmt)
+            self._walk(stmt.body, body_protected, cleanup)
+            self._walk(stmt.orelse, body_protected, cleanup)
+            for handler in stmt.handlers:
+                self._walk(handler.body, protected, True)
+            self._walk(stmt.finalbody, protected, True)
+            return
+        was_acquired = self.acquired
+        self._update_state(stmt)
+        if was_acquired and not (protected or cleanup):
+            if isinstance(stmt, ast.Raise):
+                self._flag(stmt.lineno, "raise")
+            else:
+                for node in self._own_exprs(stmt):
+                    for call in ast.walk(node):
+                        if not isinstance(call, ast.Call):
+                            continue
+                        risky = self._risky_call(call)
+                        if risky is not None:
+                            self._flag(call.lineno, f"call to {risky}() may raise")
+        if isinstance(stmt, ast.If):
+            # The branches are exclusive: merge their exit states instead of
+            # letting an acquisition in one arm bleed into the other.
+            before = self.acquired
+            self._walk(stmt.body, protected, cleanup)
+            body_out = None if _terminates(stmt.body) else self.acquired
+            self.acquired = before
+            self._walk(stmt.orelse, protected, cleanup)
+            orelse_out = (
+                None if stmt.orelse and _terminates(stmt.orelse) else self.acquired
+            )
+            exits = [state for state in (body_out, orelse_out) if state is not None]
+            self.acquired = any(exits) if exits else before
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._walk_stmt(child, protected, cleanup)
+
+    @staticmethod
+    def _own_exprs(stmt: ast.stmt) -> list[ast.expr]:
+        exprs: list[ast.expr] = []
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                exprs.append(child)
+            elif isinstance(child, ast.withitem):
+                exprs.append(child.context_expr)
+        return exprs
+
+    def _try_settles(self, stmt: ast.Try) -> bool:
+        cleanup: list[ast.stmt] = list(stmt.finalbody)
+        for handler in stmt.handlers:
+            cleanup.extend(handler.body)
+        for body_stmt in cleanup:
+            for node in ast.walk(body_stmt):
+                if isinstance(node, ast.Call) and _call_attr(node) in _SETTLE_NAMES:
+                    return True
+        return False
+
+
+def _terminates(stmts: list[ast.stmt]) -> bool:
+    """The block cannot fall through (so its state never merges forward)."""
+    return bool(stmts) and isinstance(
+        stmts[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _reservation_leaks(graph: CallGraph) -> list[Violation]:
+    acquirers = {
+        fid
+        for fid, info in graph.functions.items()
+        if _is_acquirer(info, graph) or _caller_settles(info)
+    }
+    may_raise = _compute_may_raise_any(graph)
+    violations: list[Violation] = []
+    for info in graph.functions.values():
+        if info.simple in ("__init__", "__post_init__"):
+            continue
+        if _caller_settles(info):
+            # Split-ownership protocol: this function hands its reservation
+            # to the caller, whose try/finally owns the exception edges.
+            continue
+        scanner = _LeakScanner(graph, info, acquirers, may_raise)
+        violations.extend(scanner.scan())
+    return violations

@@ -325,8 +325,12 @@ class ReCache:
             if not self._make_room_for(entry):
                 self.stats.admissions_skipped += 1
                 return None
-            self._install(entry)
-            self._settle_reservation()
+            try:
+                self._install(entry)
+            finally:
+                # Settle on the exception edge too: a policy/subsumption hook
+                # raising mid-install must not strand the pooled reservation.
+                self._settle_reservation()
             self.stats.admissions_eager += 1
             return entry
 
@@ -358,8 +362,10 @@ class ReCache:
             if not self._make_room_for(entry):
                 self.stats.admissions_skipped += 1
                 return None
-            self._install(entry)
-            self._settle_reservation()
+            try:
+                self._install(entry)
+            finally:
+                self._settle_reservation()
             self.stats.admissions_lazy += 1
             return entry
 
@@ -419,7 +425,17 @@ class ReCache:
                 return None
             self._switches_in_progress.add(key)
         try:
-            converted, conversion_time = convert_layout(old_layout, target, old_layout.schema)
+            try:
+                converted, conversion_time = convert_layout(
+                    old_layout, target, old_layout.schema
+                )
+            except Exception:
+                # The rebuild re-reads the cached bytes, so a conversion
+                # failure means the entry itself is suspect: quarantine it
+                # instead of leaking a raw scan/corruption error past the
+                # reuse path (record_reuse's contract is "raises nothing").
+                self.quarantine(entry)
+                return None
             with self._lock:
                 return self._install_switched_layout(
                     entry, old_layout, converted, conversion_time, target
@@ -465,9 +481,11 @@ class ReCache:
                     self._free_overage(size_delta, exclude=entry)
                     if self._occupancy + size_delta > limit:
                         return False
-            entry.upgrade_to_eager(layout, caching_time)
-            self._adjust_occupancy(size_delta)
-            self._settle_reservation()
+            try:
+                entry.upgrade_to_eager(layout, caching_time)
+                self._adjust_occupancy(size_delta)
+            finally:
+                self._settle_reservation()
             self.stats.lazy_upgrades += 1
             return True
 
@@ -585,7 +603,7 @@ class ReCache:
         self.policy.on_admit(entry, self._sequence)
         self.subsumption.register(entry)
 
-    def _make_room_for(self, entry: CacheEntry) -> bool:  # caller-holds: self._lock
+    def _make_room_for(self, entry: CacheEntry) -> bool:  # caller-holds: self._lock; caller-settles: reservation
         """Ensure the new entry fits; returns False when it cannot fit.
 
         On success under a pooled budget, the entry's bytes are left reserved
@@ -609,7 +627,7 @@ class ReCache:
                 return False
         return True
 
-    def _make_room_pooled(self, entry: CacheEntry) -> bool:  # caller-holds: self._lock
+    def _make_room_pooled(self, entry: CacheEntry) -> bool:  # caller-holds: self._lock; caller-settles: reservation
         """Shared-budget admission: the *global* limit is the binding one.
 
         An entry larger than this shard's proportional share is admissible by
@@ -710,9 +728,11 @@ class ReCache:
                 # Eviction could not absorb the growth; keep the old layout
                 # rather than blowing the byte budget.
                 return None
-        entry.replace_layout(converted)
-        self._adjust_occupancy(size_delta)
-        self._settle_reservation()
+        try:
+            entry.replace_layout(converted)
+            self._adjust_occupancy(size_delta)
+        finally:
+            self._settle_reservation()
         # Converting the cache is additional caching work: fold it into ``c`` so
         # the benefit metric keeps reflecting the true reconstruction cost.
         entry.stats.caching_time += conversion_time

@@ -55,7 +55,7 @@ def object_validity_mask(values) -> np.ndarray:
     NaN data value valid, so the NumPy group-by's skip-null behaviour matches
     the row interpreter value for value.
     """
-    return np.fromiter((value is not None for value in values), dtype=bool, count=len(values))
+    return np.fromiter((value is not None for value in values), dtype=bool, count=len(values))  # rowwise-fallback: None-validity of object columns is a per-value identity test by definition
 
 
 def approx_record_bytes(record: dict) -> int:
@@ -185,9 +185,9 @@ class RecordBatch:
     # ------------------------------------------------------------------
     def take(self, indexes) -> "RecordBatch":
         """A new batch holding the rows at ``indexes`` (record info dropped)."""
-        index_list = indexes.tolist() if isinstance(indexes, np.ndarray) else list(indexes)
+        index_list = indexes.tolist() if isinstance(indexes, np.ndarray) else list(indexes)  # rowwise-fallback: take() gathers object columns through Python; numeric columns regather via the float64 views below
         columns = {
-            name: [col[i] for i in index_list] for name, col in self.columns.items()
+            name: [col[i] for i in index_list] for name, col in self.columns.items()  # rowwise-fallback: object-column gather (see take() note above)
         }
         taken = RecordBatch(columns, row_count=len(index_list))
         for name, array in self._numeric.items():
@@ -248,7 +248,7 @@ class RecordBatch:
         return f"RecordBatch(rows={self._row_count}, fields={len(self.columns)})"
 
 
-def rows_from_batches(batches: Sequence[RecordBatch]) -> list[dict]:
+def rows_from_batches(batches: Sequence[RecordBatch]) -> list[dict]:  # rowwise-fallback: the audited rows exit — parity-tested against the interpreter
     """Materialize a batch stream into the row dictionaries reports carry."""
     rows: list[dict] = []
     for batch in batches:

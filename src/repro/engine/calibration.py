@@ -52,7 +52,7 @@ def override_per_value_seconds(value: float | None) -> None:
     _per_value_seconds = value
 
 
-def _measure() -> float:
+def _measure() -> float:  # rowwise-fallback: deliberately times the row-shaped scan loop to calibrate the cost model
     """Time a representative columnar cache scan (zip columns, build row dicts).
 
     Using a scan-shaped loop rather than a bare list traversal keeps the

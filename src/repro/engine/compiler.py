@@ -394,7 +394,7 @@ def compile_batch_predicate(expr: Expression | None) -> Callable[[RecordBatch], 
             count = batch.row_count
             out = np.empty(count, dtype=bool)
             for i in range(count):
-                out[i] = row_predicate({name: col[i] for name, col in zip(fields, columns)})
+                out[i] = row_predicate({name: col[i] for name, col in zip(fields, columns)})  # rowwise-fallback: non-vectorizable predicates interpret per row — the audited parity fallback
             return out
 
         return evaluate

@@ -420,7 +420,7 @@ def _quarantine_entry(node: CacheScanNode, ctx: ExecutionContext) -> None:
         ctx.report.quarantined_entries += 1
 
 
-def _degraded_raw_rows(node: CacheScanNode, ctx: ExecutionContext) -> list[dict]:
+def _degraded_raw_rows(node: CacheScanNode, ctx: ExecutionContext) -> list[dict]:  # rowwise-fallback: degraded re-scan after quarantine trades throughput for containment
     """Serve a cache-scan node from the raw source after quarantining its entry.
 
     ``residual_predicate`` always carries the full table predicate (even on
@@ -442,7 +442,7 @@ def _degraded_raw_rows(node: CacheScanNode, ctx: ExecutionContext) -> list[dict]
     return rows
 
 
-def _degraded_raw_batches(node: CacheScanNode, ctx: ExecutionContext) -> list[RecordBatch]:
+def _degraded_raw_batches(node: CacheScanNode, ctx: ExecutionContext) -> list[RecordBatch]:  # rowwise-fallback: degraded re-scan after quarantine trades throughput for containment
     """Batched counterpart of :func:`_degraded_raw_rows` (same semantics)."""
     ctx.report.degraded_scans += 1
     source = ctx.catalog.get(node.entry.source)
@@ -888,7 +888,7 @@ def _execute_plan_batched(plan: PlanNode, ctx: ExecutionContext) -> list[dict]:
         batches = _execute_batches(plan.child, ctx)
         aggregates = compile_aggregates(plan.aggregates)
         return aggregate_batches(batches, aggregates, plan.group_by)
-    return rows_from_batches(_execute_batches(plan, ctx))
+    return rows_from_batches(_execute_batches(plan, ctx))  # rowwise-fallback: rows result format materializes Python rows once at the query boundary
 
 
 def _execute_batches(plan: PlanNode, ctx: ExecutionContext) -> list[RecordBatch]:

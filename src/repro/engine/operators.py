@@ -202,8 +202,8 @@ def hash_join_batches(
     probe_indexes, build_indexes = _factorized_probe(build, build_key, probe, probe_key)
     if len(probe_indexes) == 0:
         return []
-    probe_list = probe_indexes.tolist()
-    build_list = build_indexes.tolist()
+    probe_list = probe_indexes.tolist()  # rowwise-fallback: join output gathers object columns through Python; numeric columns regather from the float64 views
+    build_list = build_indexes.tolist()  # rowwise-fallback: join output gathers object columns through Python (see above)
     # Merged field order mirrors dict(match); merged.update(row): build fields
     # first, probe-only fields appended, shared names carrying probe values.
     build_fields = build.field_names()
@@ -216,12 +216,12 @@ def hash_join_batches(
         else:
             source_batch, indexes, index_list = build, build_indexes, build_list
         source = source_batch.column(name)
-        columns[name] = [source[i] for i in index_list]
+        columns[name] = [source[i] for i in index_list]  # rowwise-fallback: object-column gather of the join output (numeric views reseeded below)
         gathered_from[name] = (source_batch, indexes)
     for name in probe.field_names():
         if name not in columns:
             source = probe.column(name)
-            columns[name] = [source[i] for i in probe_list]
+            columns[name] = [source[i] for i in probe_list]  # rowwise-fallback: object-column gather of the join output (numeric views reseeded below)
             gathered_from[name] = (probe, probe_indexes)
     joined = RecordBatch(columns, row_count=len(probe_list))
     # Numeric views already built on the inputs (layouts pre-seed them, the
@@ -270,7 +270,7 @@ def _key_view(batch: RecordBatch, key: str) -> np.ndarray | None:
     nan_mask = np.isnan(view)
     if nan_mask.any():
         values = batch.column(key)
-        if not all(values[i] is None for i in np.nonzero(nan_mask)[0].tolist()):
+        if not all(values[i] is None for i in np.nonzero(nan_mask)[0].tolist()):  # rowwise-fallback: NaN-provenance audit (None vs real NaN) touches only the NaN positions
             return None
         valid = view[~nan_mask]
         if len(valid) and np.abs(valid).max() >= 2**53:
@@ -346,9 +346,9 @@ def _dict_key_probe(build_keys: list, probe_keys: list) -> tuple[np.ndarray, np.
     if not probe_rows:
         return _NO_MATCHES
 
-    counts = np.fromiter(map(len, slot_rows), dtype=np.int64, count=len(slot_rows))
+    counts = np.fromiter(map(len, slot_rows), dtype=np.int64, count=len(slot_rows))  # rowwise-fallback: object-key probe is a Python dict walk; fromiter packs its matches back into arrays
     starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    flat_rows = np.fromiter(
+    flat_rows = np.fromiter(  # rowwise-fallback: packs the dict-probe matches back into arrays (see above)
         (row for rows in slot_rows for row in rows), dtype=np.int64, count=int(counts.sum())
     )
     codes = np.asarray(probe_codes, dtype=np.int64)
@@ -461,7 +461,7 @@ def _factorize_keys(batch: RecordBatch, keys: Sequence[str]) -> tuple[np.ndarray
         if combined is not None:
             codes, first_rows = _first_occurrence_codes(combined)
             group_keys = [
-                tuple(column[row] for column in columns) for row in first_rows.tolist()
+                tuple(column[row] for column in columns) for row in first_rows.tolist()  # rowwise-fallback: materializes one key tuple per group — group-count work, not row-count
             ]
             return codes, group_keys
 
@@ -504,13 +504,13 @@ def _grouped_reduce(func: str, values: list, codes: np.ndarray, n_groups: int) -
     valid = object_validity_mask(values)
     vcodes = codes[valid]
     if func == "count":
-        return np.bincount(vcodes, minlength=n_groups).tolist()
+        return np.bincount(vcodes, minlength=n_groups).tolist()  # rowwise-fallback: one count per group — group-count work, not row-count
     vrows = np.nonzero(valid)[0]
     order = np.argsort(vcodes, kind="stable")
     boundaries = np.searchsorted(vcodes[order], np.arange(n_groups + 1))
-    gathered = [values[i] for i in vrows[order].tolist()]
-    starts = boundaries[:-1].tolist()
-    ends = boundaries[1:].tolist()
+    gathered = [values[i] for i in vrows[order].tolist()]  # rowwise-fallback: object aggregation gathers the surviving values to reproduce interpreter semantics exactly
+    starts = boundaries[:-1].tolist()  # rowwise-fallback: group boundaries — group-count work, not row-count
+    ends = boundaries[1:].tolist()  # rowwise-fallback: group boundaries — group-count work, not row-count
     if func == "sum":
         return [sum(gathered[s:e], 0.0) for s, e in zip(starts, ends)]
     if func == "avg":

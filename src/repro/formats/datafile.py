@@ -69,7 +69,7 @@ class DataSource:
     def read_records(self, indexes: Sequence[int], fields: Sequence[str] | None = None) -> Iterator[dict]:
         return self.plugin.read_records(indexes, fields)
 
-    def read_record_rows(
+    def read_record_rows(  # rowwise-fallback: lazy-offset point reads parse one record at a time by design
         self, indexes: Sequence[int], fields: Sequence[str] | None = None
     ) -> Iterator[list[dict]]:
         """Rows of each requested record, grouped per record."""

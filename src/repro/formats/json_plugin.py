@@ -138,7 +138,7 @@ class JSONPlugin:
                     records=records,
                     record_bytes=nbytes,
                 )
-                columns = {name: [] for name in wanted}
+                columns = {name: [] for name in wanted}  # recheck-lint: allow(hotpath) -- resets the per-batch accumulator, built once per batch not per record
                 counts = []
                 records = [] if with_payload else None
                 nbytes = [] if with_payload else None
@@ -157,7 +157,7 @@ class JSONPlugin:
         for rows in self.read_record_rows(indexes, fields):
             yield from rows
 
-    def read_record_rows(
+    def read_record_rows(  # rowwise-fallback: lazy-offset point reads parse one record at a time by design
         self, indexes: Iterable[int], fields: Sequence[str] | None = None
     ) -> Iterator[list[dict]]:
         """Yield the flattened rows of each requested record as one list.

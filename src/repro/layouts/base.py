@@ -111,7 +111,7 @@ class CacheLayout:
         is already columnar override it to slice columns directly.
         """
         wanted = list(fields) if fields is not None else list(self.fields)
-        return batches_from_row_iter(self.scan(fields=wanted), wanted, batch_size)
+        return batches_from_row_iter(self.scan(fields=wanted), wanted, batch_size)  # rowwise-fallback: compatibility bridge for layouts without a native batched scan
 
     def available_fields(self) -> list[str]:
         return list(self.fields)

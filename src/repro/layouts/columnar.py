@@ -47,6 +47,9 @@ class ColumnarLayout(CacheLayout):
         self._nbytes = sum(estimate_sequence_bytes(col) for col in columns.values())
         #: lazily built numeric (float64) views of columns, for vectorized filters
         self._numeric_arrays: dict[str, np.ndarray | None] = {}
+        #: lazily built object-dtype views of columns, enabling vectorized
+        #: gathers (NumPy fancy indexing) on the filter/dedupe fast paths
+        self._object_arrays: dict[str, np.ndarray] = {}
 
     @classmethod
     def from_rows(
@@ -149,13 +152,13 @@ class ColumnarLayout(CacheLayout):
         }
         injector = faults.injector_for("scan.layout", self.layout_name)
         if dedupe_records:
-            first_rows = sorted(self._record_first_rows())
+            first_rows = np.asarray(sorted(self._record_first_rows()), dtype=np.int64)
             for start in range(0, len(first_rows), batch_size):
                 if injector is not None:
                     injector()
                 chunk = first_rows[start : start + batch_size]
                 batch = RecordBatch(
-                    {f: [self._columns[f][i] for i in chunk] for f in wanted},
+                    {f: list(self._object_array(f)[chunk]) for f in wanted},
                     row_count=len(chunk),
                 )
                 for name, array in arrays.items():
@@ -188,6 +191,20 @@ class ColumnarLayout(CacheLayout):
             self._numeric_arrays[name] = numeric_column_array(self._columns[name])
         return self._numeric_arrays[name]
 
+    def _object_array(self, name: str) -> np.ndarray:
+        """Cached object-dtype view of one column, for vectorized gathers.
+
+        Filled cell by cell (once, then cached) rather than via ``np.asarray``
+        so sequence-valued cells can never trigger NumPy's shape inference.
+        """
+        if name not in self._object_arrays:
+            column = self._columns[name]
+            array = np.empty(len(column), dtype=object)
+            for index, value in enumerate(column):
+                array[index] = value
+            self._object_arrays[name] = array
+        return self._object_arrays[name]
+
     def supports_range_filter(self, fields: Sequence[str]) -> bool:
         """True when every given field has a numeric vectorizable column."""
         return all(
@@ -214,7 +231,7 @@ class ColumnarLayout(CacheLayout):
         mask = self._range_mask(ranges, dedupe_records)
         selected = [self._columns[f] for f in wanted]
         for index in np.nonzero(mask)[0]:
-            yield {name: column[index] for name, column in zip(wanted, selected)}
+            yield {name: column[index] for name, column in zip(wanted, selected)}  # rowwise-fallback: row-format exit of the range scan; the batched executor uses range_filtered_batch
 
     def _range_mask(
         self, ranges: Mapping[str, tuple[float, float]], dedupe_records: bool
@@ -256,15 +273,15 @@ class ColumnarLayout(CacheLayout):
         missing = [f for f in wanted if f not in self._columns]
         if missing:
             raise KeyError(f"columns not cached: {missing}")
-        indexes = np.nonzero(self._range_mask(ranges, dedupe_records))[0].tolist()
+        index_array = np.nonzero(self._range_mask(ranges, dedupe_records))[0]
         batch = RecordBatch(
-            {f: [self._columns[f][i] for i in indexes] for f in wanted},
-            row_count=len(indexes),
+            {f: list(self._object_array(f)[index_array]) for f in wanted},
+            row_count=len(index_array),
         )
         for name in wanted:
             array = self._numeric_arrays.get(name)
             if array is not None:
-                batch.set_numeric_view(name, array[indexes])
+                batch.set_numeric_view(name, array[index_array])
         return batch
 
     def _record_first_rows(self) -> set[int]:

@@ -22,7 +22,7 @@ from repro.layouts.row import RowLayout
 LAYOUT_NAMES = ("row", "columnar", "parquet")
 
 
-def build_layout(
+def build_layout(  # rowwise-fallback: layout builds are record-granular by definition (cold-path caching work)
     layout_name: str,
     schema: RecordType,
     fields: Sequence[str],
@@ -55,7 +55,7 @@ def build_layout(
     return RowLayout.from_rows(rows, schema, fields, record_row_counts)
 
 
-def convert_layout(
+def convert_layout(  # rowwise-fallback: layout conversion rebuilds the cache record by record (cold-path, off the scan loop)
     layout: CacheLayout, target_name: str, schema: RecordType | None = None
 ) -> tuple[CacheLayout, float]:
     """Convert a cached item to ``target_name``; returns ``(layout, seconds)``."""

@@ -52,6 +52,9 @@ class ParquetLayout(CacheLayout):
         #: lazily built float64 views of *non-nested* columns (one entry per
         #: record), enabling vectorized range filters on parent attributes
         self._numeric_arrays: dict[str, np.ndarray | None] = {}
+        #: lazily built object-dtype views of flat columns, enabling vectorized
+        #: gathers (NumPy fancy indexing) on the range-filter fast path
+        self._object_arrays: dict[str, np.ndarray] = {}
 
     @classmethod
     def from_records(
@@ -198,6 +201,23 @@ class ParquetLayout(CacheLayout):
             )
         return self._numeric_arrays[name]
 
+    def _object_array(self, name: str) -> np.ndarray:
+        """Cached object-dtype view of a flat column, for vectorized gathers.
+
+        Filled cell by cell (once, then cached) rather than via ``np.asarray``
+        so sequence-valued cells can never trigger NumPy's shape inference.
+        Only valid for columns whose flat view exists — callers gate on the
+        numeric-mask check, which already requires it.
+        """
+        if name not in self._object_arrays:
+            values = self._columns[name].flat_values(self._record_count)
+            assert values is not None  # guaranteed by the mask's numeric check
+            array = np.empty(len(values), dtype=object)
+            for index, value in enumerate(values):
+                array[index] = value
+            self._object_arrays[name] = array
+        return self._object_arrays[name]
+
     def supports_range_filter(self, fields: Sequence[str]) -> bool:
         """True when every field is a non-nested numeric column of this cache."""
         return all(self.numeric_array(field) is not None for field in fields)
@@ -217,7 +237,7 @@ class ParquetLayout(CacheLayout):
         mask = self._range_mask(ranges, wanted)
         projected = [self._columns[name].flat_values(self._record_count) for name in wanted]
         for index in np.nonzero(mask)[0]:
-            yield {name: values[index] for name, values in zip(wanted, projected)}
+            yield {name: values[index] for name, values in zip(wanted, projected)}  # rowwise-fallback: row-format exit of the range scan; the batched executor uses range_filtered_batch
 
     def _range_mask(
         self, ranges: Mapping[str, tuple[float, float]], wanted: Sequence[str]
@@ -259,17 +279,15 @@ class ParquetLayout(CacheLayout):
         by construction and ``dedupe_records`` is inherently satisfied.
         """
         wanted = list(fields) if fields is not None else list(self.fields)
-        indexes = np.nonzero(self._range_mask(ranges, wanted))[0].tolist()
-        columns: dict[str, list] = {}
-        for name in wanted:
-            values = self._columns[name].flat_values(self._record_count)
-            assert values is not None  # guaranteed by the mask's numeric check
-            columns[name] = [values[i] for i in indexes]
-        batch = RecordBatch(columns, row_count=len(indexes))
+        index_array = np.nonzero(self._range_mask(ranges, wanted))[0]
+        columns = {
+            name: list(self._object_array(name)[index_array]) for name in wanted
+        }
+        batch = RecordBatch(columns, row_count=len(index_array))
         for name in wanted:
             array = self._numeric_arrays.get(name)
             if array is not None:
-                batch.set_numeric_view(name, array[indexes])
+                batch.set_numeric_view(name, array[index_array])
         return batch
 
     # -- internals ------------------------------------------------------------
@@ -296,12 +314,10 @@ class ParquetLayout(CacheLayout):
                 nested_columns_by_group.setdefault(group or path, column)
         if not nested_columns_by_group:
             return self._record_count
-        total = 0
-        representatives = list(nested_columns_by_group.values())
-        for record_index in range(self._record_count):
-            rows = 1
-            for column in representatives:
-                start, end = column.record_entries(record_index)
-                rows *= max(1, end - start)
-            total += rows
-        return total
+        # Vectorized over records: one (start, end) range array per repetition
+        # group, per-record row counts are the product of the group sizes.
+        rows = np.ones(self._record_count, dtype=np.int64)
+        for column in nested_columns_by_group.values():
+            ranges = np.asarray(column.record_ranges, dtype=np.int64).reshape(-1, 2)
+            rows *= np.maximum(1, ranges[:, 1] - ranges[:, 0])
+        return int(rows.sum())

@@ -1,0 +1,77 @@
+"""Seeded ``hotpath`` violations for the self-test.
+
+``RECHECK_HOTPATH_ROOTS`` marks a local vectorized root; every planted
+pattern sits in a function reachable from it through the call graph.  The
+good variants show the two suppression levels (a ``# rowwise-fallback:``
+``def`` that prunes a whole audited subtree, a line-level bless) plus the
+negatives the rule must not fire on: chunk-granular loops and row-wise code
+that is simply unreachable from any root.
+"""
+
+from __future__ import annotations
+
+RECHECK_HOTPATH_ROOTS = ["corpus_batch_root"]
+
+
+def corpus_batch_root(batches, values, idx):
+    total = bad_materializes_rows(batches)
+    total += bad_transposes_and_rebuilds(batches)
+    total += bad_gathers_elements(values, idx)
+    total += good_audited_row_exit(batches)
+    total += good_blessed_roundtrip(values)
+    total += good_chunked_rebatch(values, 64)
+    return total
+
+
+def bad_materializes_rows(batches):
+    total = 0
+    for batch in batches:
+        rows = batch.to_rows()  # PLANTED: hotpath
+        total += len(rows)
+    rows = rows_from_batches(batches)  # PLANTED: hotpath
+    return total + len(rows)
+
+
+def bad_transposes_and_rebuilds(batches):
+    total = 0
+    for batch in batches:
+        columns = [batch.column(name) for name in batch.field_names()]
+        for row in zip(*columns):  # PLANTED: hotpath
+            record = {"first": row[0]}  # PLANTED: hotpath
+            total += len(record)
+    return total
+
+
+def bad_gathers_elements(values, idx):
+    data = values.tolist()  # PLANTED: hotpath
+    picked = [data[i] for i in idx]  # PLANTED: hotpath
+    return len(picked)
+
+
+def good_audited_row_exit(batches):  # rowwise-fallback: audited parity exit for the row-format result API
+    total = 0
+    for batch in batches:
+        for row in batch.to_rows():
+            total += len(row)
+    return total
+
+
+def good_blessed_roundtrip(values):
+    data = values.tolist()  # rowwise-fallback: one-time cold materialization, off the per-batch loop
+    return len(data)
+
+
+def good_chunked_rebatch(values, size):
+    chunks = []
+    for start in range(0, len(values), size):
+        chunks.append({"chunk": values[start : start + size]})
+    return len(chunks)
+
+
+def unreachable_row_walk(batches):
+    """Row-wise on purpose and off the hot path: must stay unflagged."""
+    out = []
+    for batch in batches:
+        for row in batch.to_rows():
+            out.append({"row": row})
+    return out

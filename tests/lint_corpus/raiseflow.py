@@ -1,0 +1,121 @@
+"""Seeded ``raise-flow`` and ``reservation-leak`` violations for the self-test.
+
+A self-contained mini error taxonomy (deriving from a local ``ReCacheError``
+root, exactly how the analyzer discovers the real one) plus a module-local
+``RECHECK_RAISE_CONTRACTS`` table.  The bad variants plant one deliberately
+escaping ``TransientScanError`` behind a contracted entry point and one
+reservation leaked across an exception edge; the good variants show every
+containment idiom the rules understand — handler narrowing, re-raise of an
+allowed error, ``# dynamic-call:``/``# may-raise:`` annotations, try/finally
+settling and the ``# caller-settles:`` split-ownership protocol.
+"""
+
+from __future__ import annotations
+
+RECHECK_RAISE_CONTRACTS = {
+    "MiniSubmit.submit": ["QueryRejected"],
+    "MiniSubmit.submit_contained": ["QueryRejected"],
+    "serve_entry": ["DeadlineExceeded"],
+    "run_dispatch": ["TransientScanError"],
+    "poll_external": ["DeadlineExceeded"],
+}
+
+
+class ReCacheError(Exception):
+    """Local taxonomy root (name-matched, module-independent)."""
+
+
+class TransientScanError(ReCacheError):
+    pass
+
+
+class QueryRejected(ReCacheError):
+    pass
+
+
+class DeadlineExceeded(ReCacheError):
+    pass
+
+
+def scan_once(entry):
+    """The raise source the interprocedural propagation must see."""
+    if entry.corrupt:
+        raise TransientScanError("backing scan failed")
+    return entry.payload
+
+
+class MiniSubmit:
+    """The shape of the real server's admission boundary, reduced."""
+
+    def submit(self, query):  # PLANTED: raise-flow
+        if query is None:
+            raise QueryRejected("no query")
+        return scan_once(query)
+
+    def submit_contained(self, query):
+        if query is None:
+            raise QueryRejected("no query")
+        try:
+            return scan_once(query)
+        except TransientScanError:
+            return None
+
+
+def serve_entry(entry):
+    """Narrow the scan fault, re-raise only the contracted error."""
+    try:
+        return scan_once(entry)
+    except TransientScanError:
+        raise DeadlineExceeded("degraded retry budget exhausted")
+
+
+def run_dispatch(handler, entry):
+    """Dispatch-table call made visible to the graph by annotation."""
+    return handler(entry)  # dynamic-call: scan_once
+
+
+def poll_external(client):
+    """Statically opaque external call, declared at the site."""
+    return client.fetch()  # may-raise: DeadlineExceeded
+
+
+class MiniBudget:
+    """The shape of the pooled-admission reservation protocol, reduced."""
+
+    def __init__(self):
+        self._reservation = 0
+
+    def _settle_reservation(self):
+        self._reservation = 0
+
+    def _policy_hook(self, entry):
+        if entry.rejected:
+            raise TransientScanError("policy probe failed")
+
+    def bad_leaks_on_exception_edge(self, entry):
+        self._reservation = entry.nbytes
+        self._policy_hook(entry)  # PLANTED: reservation-leak
+        self._settle_reservation()
+
+    def good_settles_on_exception_edge(self, entry):
+        self._reservation = entry.nbytes
+        try:
+            self._policy_hook(entry)
+        finally:
+            self._settle_reservation()
+
+    def good_hands_off(self, entry):  # caller-settles: reservation
+        self._reservation = entry.nbytes
+        return entry.nbytes
+
+    def bad_caller_leaks(self, entry):
+        self.good_hands_off(entry)
+        self._policy_hook(entry)  # PLANTED: reservation-leak
+        self._settle_reservation()
+
+    def good_caller_settles(self, entry):
+        self.good_hands_off(entry)
+        try:
+            self._policy_hook(entry)
+        finally:
+            self._settle_reservation()

@@ -327,3 +327,99 @@ def test_worker_crash_fails_futures_typed_not_hung(dataset_dir, assert_budget_co
         report = server.execute(flat_query(label="after-crash"), timeout=10.0)
         assert report.rows_returned >= 1
     assert server.queue_depth == 0
+
+
+# ---------------------------------------------------------------------------
+# Analyzer-surfaced containment regressions (raise-flow / reservation-leak)
+# ---------------------------------------------------------------------------
+def test_conversion_fault_during_switch_quarantines_instead_of_raising(
+    monkeypatch, assert_budget_conserved
+):
+    """record_reuse's contract is "raises nothing": a conversion fault means
+    the cached bytes are suspect, so the entry is quarantined — the raw
+    CorruptedCacheError must never escape the reuse path (found by the
+    interprocedural raise-flow rule)."""
+    from repro.core import cache_manager as cm
+    from repro.core.cache_entry import LayoutObservation
+    from repro.core.cache_manager import ReCache
+    from repro.core.errors import CorruptedCacheError
+    from repro.layouts import build_layout
+    from repro.workloads.nested import ORDER_LINEITEMS_SCHEMA, synthetic_order_lineitems
+
+    cache = assert_budget_conserved(ReCache(ReCacheConfig(layout_selection=True)))
+    records = synthetic_order_lineitems(30, seed=2)
+    fields = ORDER_LINEITEMS_SCHEMA.leaf_paths()
+    layout = build_layout("parquet", ORDER_LINEITEMS_SCHEMA, fields, records=records)
+    cache.begin_query()
+    entry = cache.admit_eager(
+        source="orders",
+        source_format="json",
+        predicate=None,
+        fields=fields,
+        layout=layout,
+        operator_time=1.0,
+        caching_time=0.5,
+    )
+    assert entry is not None
+
+    def corrupt_conversion(layout, target, schema):
+        raise CorruptedCacheError("stripe decode failed mid-rebuild")
+
+    monkeypatch.setattr(cm, "convert_layout", corrupt_conversion)
+    rows = entry.layout.flattened_row_count
+    switched = []
+    for i in range(8):
+        cache.begin_query()
+        observation = LayoutObservation(
+            query_index=i,
+            layout_name=entry.layout_name,
+            data_cost=1.0,
+            compute_cost=2.0,
+            rows_accessed=rows,
+            columns_accessed=3,
+            accessed_nested=True,
+        )
+        switched.append(cache.record_reuse(entry, 3.0, 0.001, observation))
+    assert all(result is None for result in switched)  # fault contained
+    assert cache.stats.extras.get("quarantined", 0) == 1
+    assert cache.stats.layout_switches == 0
+    assert cache.total_bytes == 0  # quarantine evicted the poisoned entry
+
+
+def test_admission_hook_fault_settles_pooled_reservation(
+    monkeypatch, assert_budget_conserved
+):
+    """A policy hook raising mid-install must not strand the pooled budget
+    reservation: the try/finally on admit_eager's exception edge settles it
+    (found by the reservation-leak rule)."""
+    from repro.core.cache_manager import ReCache
+    from repro.core.sharded_cache import SharedBudget
+    from repro.engine.types import FLOAT, Field, RecordType
+    from repro.layouts import build_layout
+
+    budget = SharedBudget(limit=100_000)
+    cache = assert_budget_conserved(
+        ReCache(ReCacheConfig(cache_size_limit=50_000), shared_budget=budget)
+    )
+
+    def exploding_on_admit(self, entry, sequence):
+        raise RuntimeError("policy bookkeeping bug")
+
+    monkeypatch.setattr(type(cache.policy), "on_admit", exploding_on_admit)
+    schema = RecordType([Field("x", FLOAT), Field("y", FLOAT)])
+    rows = [{"x": float(i), "y": 2.0 * i} for i in range(50)]
+    layout = build_layout("columnar", schema, ["x", "y"], rows=rows)
+    cache.begin_query()
+    with pytest.raises(RuntimeError):
+        cache.admit_eager(
+            source="t",
+            source_format="csv",
+            predicate=None,
+            fields=["x", "y"],
+            layout=layout,
+            operator_time=1.0,
+            caching_time=0.5,
+        )
+    # The exception edge settled the reservation; accounting stays conserved
+    # (the teardown fixture re-checks occupancy == resident bytes).
+    assert budget.reserved == 0

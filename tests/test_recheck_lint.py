@@ -15,7 +15,10 @@ from pathlib import Path
 from repro.analysis import lint as lint_cli
 from repro.analysis.invariants import (
     BEGIN_MARKER,
+    CONTRACTS_BEGIN_MARKER,
+    CONTRACTS_END_MARKER,
     END_MARKER,
+    render_contracts_markdown,
     render_invariants_markdown,
 )
 from repro.analysis.lint import CHECKERS, run_lint
@@ -38,8 +41,9 @@ def planted_expectations() -> set[tuple[str, str, int]]:
 
 def test_corpus_exercises_every_rule_family():
     planted_rules = {rule for _, rule, _ in planted_expectations()}
-    # lock-order's module owns two rules; the corpus must cover both.
-    assert planted_rules == set(CHECKERS) | {"heavy-work"}
+    # lock-order and raise-flow each own a second rule; the corpus must
+    # cover those companions too.
+    assert planted_rules == set(CHECKERS) | {"heavy-work", "reservation-leak"}
 
 
 def test_seeded_violations_fire_exactly_at_planted_lines():
@@ -70,13 +74,33 @@ def test_real_tree_is_clean():
     assert report["files_scanned"] > 50  # the whole tree, not a subset
 
 
+def test_report_archives_raise_sets_and_wall_time():
+    """The CI report carries the inferred per-function exception sets."""
+    _, report = run_lint([ROOT / "src"])
+    raise_sets = report["raise_sets"]
+    # The interprocedural inference must reproduce the documented contracts.
+    assert raise_sets["QueryEngine.execute"] == [
+        "DeadlineExceeded",
+        "TransientScanError",
+    ]
+    assert "TransientScanError" in raise_sets["execute_plan"]
+    # record_reuse's contract is "raises nothing": it must not appear at all.
+    assert "ReCache.record_reuse" not in raise_sets
+    assert isinstance(report["wall_time_seconds"], float)
+    assert report["wall_time_seconds"] < 10.0
+    assert all(isinstance(w, str) for w in report["callgraph_warnings"])
+
+
 def test_cli_exit_codes_and_json_report(tmp_path, capsys):
     report_path = tmp_path / "report.json"
     assert lint_cli.main([str(CORPUS), "--json", str(report_path)]) == 1
     data = json.loads(report_path.read_text())
     assert data["tool"] == "recheck-lint"
     assert data["violation_count"] == len(planted_expectations())
-    assert {v["rule"] for v in data["violations"]} == set(CHECKERS) | {"heavy-work"}
+    assert {v["rule"] for v in data["violations"]} == set(CHECKERS) | {
+        "heavy-work",
+        "reservation-leak",
+    }
 
     assert lint_cli.main([str(ROOT / "src"), "--json", str(report_path)]) == 0
     data = json.loads(report_path.read_text())
@@ -92,3 +116,12 @@ def test_readme_invariants_section_matches_declarations():
     start = readme.index(BEGIN_MARKER) + len(BEGIN_MARKER)
     end = readme.index(END_MARKER)
     assert readme[start:end].strip("\n") == render_invariants_markdown().strip("\n")
+
+
+def test_readme_contracts_section_matches_declarations():
+    """The README's static-verification tables are generated — no drift."""
+    readme = (ROOT / "README.md").read_text()
+    assert CONTRACTS_BEGIN_MARKER in readme and CONTRACTS_END_MARKER in readme
+    start = readme.index(CONTRACTS_BEGIN_MARKER) + len(CONTRACTS_BEGIN_MARKER)
+    end = readme.index(CONTRACTS_END_MARKER)
+    assert readme[start:end].strip("\n") == render_contracts_markdown().strip("\n")
