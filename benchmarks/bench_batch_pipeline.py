@@ -4,10 +4,13 @@
 Runs the Yelp-style, TPC-H and Symantec-style workloads twice — once with the
 row-at-a-time interpreter (``vectorized_execution=False``) and once with the
 batched pipeline — on identically configured fresh engines, and additionally
-measures five cache-hit fast paths in isolation: repeated selective range
+measures six cache-hit fast paths in isolation: repeated selective range
 queries against a warm relational columnar cache (the scan shape ReCache's
 reuse argument rests on), repeated flat-field scans against a warm *parquet*
 cache (striped-column batch slicing + NumPy masks, no row assembly), repeated
+*nested-field* range scans against the same warm parquet cache (the
+nested-predicate vectorizer: entry-granular masks over raw striped levels,
+``np.logical_or.reduceat`` to record granularity), repeated
 grouped aggregation against a warm columnar cache (the NumPy-backed group-by
 versus per-row dict grouping), a repeated cache-hit equi-join (the factorized
 NumPy probe versus the interpreted row-at-a-time probe), and a rows-heavy
@@ -214,6 +217,66 @@ def run_parquet_cache_hit(orders_scale: float, repeats: int) -> dict:
     results["speedup"] = interpreted / batched if batched > 0 else 0.0
     print(
         f"[parquet-cache-hit] interpreted {results['interpreted']['queries_per_sec']:.1f} q/s, "
+        f"batched {results['batched']['queries_per_sec']:.1f} q/s "
+        f"(speedup {results['speedup']:.2f}x)"
+    )
+    return results
+
+
+def run_nested_predicate(orders_scale: float, repeats: int) -> dict:
+    """Cache-hit parquet scans filtered by a *nested-field* predicate, isolated.
+
+    The predicate is a closed conjunctive range over ``lineitems.l_quantity``
+    — a leaf below the repeated level — so this measures the nested-predicate
+    vectorizer directly: the batched pipeline evaluates one NumPy mask over
+    the raw striped entry arrays (validity from the definition levels, no
+    per-record level walk) and reduces entry hits to record hits with
+    ``np.logical_or.reduceat``, while the interpreter assembles per-record
+    rows from the stripes and tests them one dictionary at a time.  This is
+    the exact shape that used to force the whole Symantec workload onto the
+    per-row fallback.  Full-run acceptance target: >= 1.2x.
+    """
+    predicate = RangePredicate("lineitems.l_quantity", 10.0, 35.0)
+    query = Query.select_aggregate(
+        "orderLineitems",
+        predicate,
+        [
+            AggregateSpec("sum", FieldRef("lineitems.l_extendedprice")),
+            AggregateSpec("avg", FieldRef("lineitems.l_quantity")),
+            AggregateSpec("count", FieldRef("o_orderkey")),
+        ],
+        label="nested-predicate-cache-hit",
+    )
+    results: dict[str, dict] = {}
+    for mode in MODES:
+        vectorized = mode == "batched"
+        config = _workload_config(
+            vectorized_execution=vectorized,
+            adaptive_admission=False,  # deterministic eager admission
+            layout_selection=False,  # keep the cache parquet throughout
+            default_nested_layout="parquet",
+        )
+        engine = order_lineitems_engine(config, scale_factor=orders_scale)
+        warm = engine.execute(query)
+        assert warm.misses == 1, "warm-up should miss"
+        started = time.perf_counter()
+        for _ in range(repeats):
+            report = engine.execute(query)
+        wall = time.perf_counter() - started
+        assert report.exact_hits == 1, "hit phase should be served from cache"
+        entry = engine.recache.entries()[0]
+        assert entry.layout.layout_name == "parquet"
+        results[mode] = {
+            "repeats": repeats,
+            "wall_time_s": wall,
+            "queries_per_sec": repeats / wall if wall > 0 else 0.0,
+            "records_scanned_per_query": entry.layout.record_count,
+        }
+    interpreted = results["interpreted"]["wall_time_s"]
+    batched = results["batched"]["wall_time_s"]
+    results["speedup"] = interpreted / batched if batched > 0 else 0.0
+    print(
+        f"[nested-predicate] interpreted {results['interpreted']['queries_per_sec']:.1f} q/s, "
         f"batched {results['batched']['queries_per_sec']:.1f} q/s "
         f"(speedup {results['speedup']:.2f}x)"
     )
@@ -506,6 +569,7 @@ def main() -> None:
     }
     cache_hit = run_columnar_cache_hit(hit_scale, hit_repeats)
     parquet_hit = run_parquet_cache_hit(orders_scale, parquet_repeats)
+    nested_hit = run_nested_predicate(orders_scale, parquet_repeats)
     groupby_hit = run_groupby_cache_hit(hit_scale, groupby_repeats)
     join_hit = run_join_cache_hit(hit_scale, join_repeats)
     columnar_exit = run_columnar_exit(hit_scale, exit_repeats)
@@ -519,6 +583,7 @@ def main() -> None:
         "workloads": workloads,
         "columnar_cache_hit": cache_hit,
         "parquet_cache_hit": parquet_hit,
+        "nested_predicate": nested_hit,
         "groupby_cache_hit": groupby_hit,
         "join_cache_hit": join_hit,
         "columnar_exit": columnar_exit,
@@ -529,13 +594,14 @@ def main() -> None:
     print(f"wrote {out_path}")
 
     # The smoke run verifies that throughput was *measured* for both pipelines
-    # (ratios on tiny CI datasets are mostly noise) plus two regression gates:
-    # the batched parquet cache-hit scan and the factorized cache-hit join
-    # must not fall below the interpreted path.  Full runs check the
-    # acceptance targets.
+    # (ratios on tiny CI datasets are mostly noise) plus three regression
+    # gates: the batched parquet cache-hit scan, the nested-predicate-heavy
+    # Symantec workload and the factorized cache-hit join must not fall below
+    # the interpreted path.  Full runs check the acceptance targets.
     isolated = {
         "columnar_cache_hit": cache_hit,
         "parquet_cache_hit": parquet_hit,
+        "nested_predicate": nested_hit,
         "groupby_cache_hit": groupby_hit,
         "join_cache_hit": join_hit,
     }
@@ -551,6 +617,12 @@ def main() -> None:
             f"parquet cache-hit speedup {parquet_hit['speedup']:.2f}x: batched scan "
             "regressed below the interpreted path"
         )
+    if workloads["symantec"]["speedup"] < 1.0:
+        raise SystemExit(
+            f"symantec workload speedup {workloads['symantec']['speedup']:.2f}x: the "
+            "nested-predicate vectorizer regressed — the batched pipeline must not "
+            "lose to the interpreter on the nested-heavy workload"
+        )
     if join_hit["speedup"] < 1.0:
         raise SystemExit(
             f"join cache-hit speedup {join_hit['speedup']:.2f}x: factorized join "
@@ -565,9 +637,11 @@ def main() -> None:
         targets = {
             "columnar_cache_hit": (cache_hit, 3.0),
             "parquet_cache_hit": (parquet_hit, 1.5),
+            "nested_predicate": (nested_hit, 1.2),
             "groupby_cache_hit": (groupby_hit, 1.5),
             "join_cache_hit": (join_hit, 1.2),
             "columnar_exit": (columnar_exit, 1.2),
+            "symantec": (workloads["symantec"], 1.2),
         }
         for name, (result, floor) in targets.items():
             if result["speedup"] < floor:

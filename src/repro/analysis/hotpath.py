@@ -14,7 +14,11 @@ function that:
   looping over ``.column()``/``.to_rows()``);
 * builds a dict per record inside a loop;
 * round-trips an array through Python lists (``.tolist()``/``np.fromiter``)
-  or gathers elements one by one (``[col[i] for i in idx]``).
+  or gathers elements one by one (``[col[i] for i in idx]``);
+* interprets striped repetition/definition levels record by record
+  (``.record_entries()`` inside a loop) — the nested-predicate vectorizer
+  evaluates the entry arrays wholesale, so a per-record level walk on the hot
+  path means a nested column fell off the vectorized plan.
 
 Audited interpreter-parity paths opt out with ``# rowwise-fallback: reason``:
 on a ``def`` line it prunes the function *and everything only reachable
@@ -47,6 +51,9 @@ _ROW_BRIDGE_NAMES = frozenset({"rows_from_batches", "batches_from_row_iter"})
 
 #: iterating a call to one of these attrs walks records one by one
 _ROW_ITER_ATTRS = frozenset({"column", "to_rows", "iter_rows"})
+
+#: per-record striped level interpretation (Dremel finite-state walk)
+_LEVEL_WALK_ATTRS = frozenset({"record_entries"})
 
 
 def has_fallback(comment: str) -> bool:
@@ -179,6 +186,14 @@ def rowwise_findings(func: ast.AST) -> list[tuple[int, str]]:
                         (
                             node.lineno,
                             f".{attr}() round-trips array data through Python lists",
+                        )
+                    )
+                elif attr in _LEVEL_WALK_ATTRS and loop_depth > 0:
+                    findings.append(
+                        (
+                            node.lineno,
+                            f".{attr}() interprets striped levels record by record "
+                            "inside a loop",
                         )
                     )
             elif isinstance(node.func, ast.Name) and node.func.id in _ROW_BRIDGE_NAMES:

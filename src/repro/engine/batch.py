@@ -74,7 +74,16 @@ def approx_record_bytes(record: dict) -> int:
 class RecordBatch:
     """A columnar chunk of flattened rows flowing through the batched executor."""
 
-    __slots__ = ("columns", "record_row_counts", "records", "record_bytes", "_row_count", "_numeric")
+    __slots__ = (
+        "columns",
+        "record_row_counts",
+        "records",
+        "record_bytes",
+        "_row_count",
+        "_numeric",
+        "_validity",
+        "_record_offsets",
+    )
 
     def __init__(
         self,
@@ -96,6 +105,11 @@ class RecordBatch:
         self.record_bytes = record_bytes
         #: lazily built float64 views per column (None = not numeric)
         self._numeric: dict[str, np.ndarray | None] = {}
+        #: lazily built ``value is not None`` masks per column (layouts with
+        #: striped definition levels pre-seed these without touching values)
+        self._validity: dict[str, np.ndarray] = {}
+        #: lazily built per-record row offsets (len == record_count + 1)
+        self._record_offsets: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -156,6 +170,21 @@ class RecordBatch:
         """Pre-seed a numeric view (layouts share their cached column arrays)."""
         self._numeric[name] = array
 
+    def validity_view(self, name: str) -> np.ndarray:
+        """A cached ``value is not None`` mask for one column.
+
+        Striped layouts pre-seed this from definition-level arrays
+        (``def == max_def``, the same predicate by the striping invariant),
+        so vectorized ``!=`` and existence tests never walk Python values.
+        """
+        if name not in self._validity:
+            self._validity[name] = object_validity_mask(self.column(name))
+        return self._validity[name]
+
+    def set_validity_view(self, name: str, array: np.ndarray) -> None:
+        """Pre-seed a validity mask (layouts derive these from def levels)."""
+        self._validity[name] = array
+
     # ------------------------------------------------------------------
     # Record-granular views
     # ------------------------------------------------------------------
@@ -165,10 +194,49 @@ class RecordBatch:
             return np.arange(self._row_count)
         return np.repeat(np.arange(len(self.record_row_counts)), self.record_row_counts)
 
+    def record_offsets(self) -> np.ndarray:
+        """Row offsets per record: ``offsets[i]:offsets[i+1]`` is record i.
+
+        Length is ``record_count + 1``; for flat batches every row is its
+        own record, so the offsets are simply ``0..row_count``.
+        """
+        if self._record_offsets is None:
+            if self.record_row_counts is None:
+                self._record_offsets = np.arange(self._row_count + 1, dtype=np.int64)
+            else:
+                offsets = np.empty(len(self.record_row_counts) + 1, dtype=np.int64)
+                offsets[0] = 0
+                np.cumsum(np.asarray(self.record_row_counts, dtype=np.int64), out=offsets[1:])
+                self._record_offsets = offsets
+        return self._record_offsets
+
+    def record_any(self, mask: np.ndarray) -> np.ndarray:
+        """Per-record OR of a row mask — the entry→record granularity
+        reduction of the nested-predicate vectorizer.
+
+        ``np.logical_or.reduceat`` over the record row offsets answers "did
+        any flattened row of this record satisfy the mask", bit-identical to
+        the interpreter's per-record existence answer.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if self.record_row_counts is None:
+            return mask
+        offsets = self.record_offsets()
+        record_count = len(offsets) - 1
+        if record_count == 0 or mask.size == 0:
+            return np.zeros(record_count, dtype=bool)
+        counts = offsets[1:] - offsets[:-1]
+        if counts.min() < 1:
+            # Degenerate zero-row records would make reduceat read into the
+            # next segment; reduce through explicit record ids instead.
+            out = np.zeros(record_count, dtype=bool)
+            out[np.unique(self.record_ids()[mask])] = True
+            return out
+        return np.logical_or.reduceat(mask, offsets[:-1])
+
     def records_with_true(self, mask: np.ndarray) -> np.ndarray:
         """Sorted in-batch ordinals of records with at least one True row."""
-        ids = self.record_ids()
-        return np.unique(ids[np.asarray(mask, dtype=bool)])
+        return np.nonzero(self.record_any(mask))[0]
 
     def first_true_per_record(self, mask: np.ndarray) -> np.ndarray:
         """Row indexes of the first True row of each record (record dedup)."""
@@ -193,6 +261,8 @@ class RecordBatch:
         for name, array in self._numeric.items():
             if array is not None:
                 taken._numeric[name] = array[index_list]
+        for name, array in self._validity.items():
+            taken._validity[name] = array[index_list]
         return taken
 
     def project(self, fields: Sequence[str]) -> "RecordBatch":
@@ -203,6 +273,8 @@ class RecordBatch:
         for name in fields:
             if self._numeric.get(name) is not None:
                 projected._numeric[name] = self._numeric[name]
+            if name in self._validity:
+                projected._validity[name] = self._validity[name]
         return projected
 
     def slice_records(self, start: int, stop: int) -> "RecordBatch":
@@ -211,10 +283,8 @@ class RecordBatch:
             row_start, row_stop = start, stop
             counts = None
         else:
-            prefix = [0]
-            for count in self.record_row_counts:
-                prefix.append(prefix[-1] + count)
-            row_start, row_stop = prefix[start], prefix[stop]
+            offsets = self.record_offsets()
+            row_start, row_stop = int(offsets[start]), int(offsets[stop])
             counts = self.record_row_counts[start:stop]
         sliced = RecordBatch(
             {name: col[row_start:row_stop] for name, col in self.columns.items()},
@@ -226,6 +296,8 @@ class RecordBatch:
         for name, array in self._numeric.items():
             if array is not None:
                 sliced._numeric[name] = array[row_start:row_stop]
+        for name, array in self._validity.items():
+            sliced._validity[name] = array[row_start:row_stop]
         return sliced
 
     # ------------------------------------------------------------------
@@ -302,4 +374,10 @@ def concat_batches(batches: Sequence[RecordBatch]) -> RecordBatch:
         ]
         if all(view is not None for view in views):
             merged._numeric[name] = np.concatenate(views)
+        masks = [
+            batch._validity.get(name) if name in batch.columns else None
+            for batch in batches
+        ]
+        if all(mask is not None for mask in masks):
+            merged._validity[name] = np.concatenate(masks)
     return merged

@@ -288,6 +288,32 @@ def _vector_value(expr: Expression):
     raise _NotVectorizable
 
 
+def _vector_validity(expr: Expression):
+    """``batch -> bool ndarray`` of rows where every leaf field of ``expr``
+    is non-``None``, or ``None`` when the operand can never be null.
+
+    This is exactly the guard set the row compiler emits (see :func:`_emit`):
+    the interpreter guards a comparison operand through its *leaf fields*, so
+    the vectorized mask ANDs the per-column validity views of those leaves.
+    Layouts with striped definition levels pre-seed the views from
+    ``def == max_def`` arrays, so no Python values are touched.
+    """
+    if isinstance(expr, Literal):
+        return None
+    paths = sorted(expr.referenced_fields())
+    if not paths:
+        return None
+
+    def validity(batch: RecordBatch):
+        combined = None
+        for path in paths:
+            mask = batch.validity_view(path)
+            combined = mask if combined is None else combined & mask
+        return combined
+
+    return validity
+
+
 def _vector_mask(expr: Expression):
     """``batch -> bool ndarray | None`` evaluator, or raise :class:`_NotVectorizable`."""
     if isinstance(expr, RangePredicate):
@@ -304,20 +330,22 @@ def _vector_mask(expr: Expression):
 
         return mask
     if isinstance(expr, Comparison):
-        if expr.op == "!=":
-            # Float views cannot distinguish a genuine NaN value (where the
-            # interpreter answers True) from a None-became-NaN (where it must
-            # answer False); "!=" is rare in the workloads, so it always takes
-            # the compiled per-row fallback and stays exactly parity-safe.
-            raise _NotVectorizable
         op = _NUMPY_COMPARATORS[expr.op]
         left = _vector_value(expr.left)
         right = _vector_value(expr.right)
         # Ordered comparisons against NaN are already False; equality needs an
-        # explicit validity mask (None rows must never compare equal).
-        needs_validity = expr.op == "=="
+        # explicit validity mask (None rows must never compare equal).  "!="
+        # cannot use an isnan guard — the float view cannot distinguish a
+        # genuine NaN value (where the interpreter answers True) from a
+        # None-became-NaN (where it must answer False) — so it ANDs the
+        # per-column ``value is not None`` validity views instead, which keep
+        # genuine NaNs valid.  Object-dtype (string) columns still return a
+        # ``None`` numeric view at runtime and take the per-row fallback.
+        needs_nan_guard = expr.op == "=="
         guard_left = not isinstance(expr.left, Literal)
         guard_right = not isinstance(expr.right, Literal)
+        validity_left = _vector_validity(expr.left) if expr.op == "!=" else None
+        validity_right = _vector_validity(expr.right) if expr.op == "!=" else None
 
         def mask(batch: RecordBatch):
             lhs = left(batch)
@@ -325,11 +353,15 @@ def _vector_mask(expr: Expression):
             if lhs is None or rhs is None:
                 return None
             result = op(lhs, rhs)
-            if needs_validity:
+            if needs_nan_guard:
                 if guard_left and isinstance(lhs, np.ndarray):
                     result = result & ~np.isnan(lhs)
                 if guard_right and isinstance(rhs, np.ndarray):
                     result = result & ~np.isnan(rhs)
+            if validity_left is not None:
+                result = result & validity_left(batch)
+            if validity_right is not None:
+                result = result & validity_right(batch)
             if not isinstance(result, np.ndarray):
                 # Two literals: broadcast the constant verdict.
                 result = np.full(batch.row_count, bool(result))
@@ -390,11 +422,17 @@ def compile_batch_predicate(expr: Expression | None) -> Callable[[RecordBatch], 
                 mask = vector(batch)
                 if mask is not None:
                     return mask
-            columns = [batch.column(name) for name in fields]
+            pairs = [(name, batch.column(name)) for name in fields]
             count = batch.row_count
             out = np.empty(count, dtype=bool)
+            # One preallocated row dict, rebound in place per row: the
+            # compiled closure only reads it synchronously, so reuse is safe
+            # and saves a dict allocation per row.
+            row = dict.fromkeys(fields)
             for i in range(count):
-                out[i] = row_predicate({name: col[i] for name, col in zip(fields, columns)})  # rowwise-fallback: non-vectorizable predicates interpret per row — the audited parity fallback
+                for name, col in pairs:  # rowwise-fallback: non-vectorizable predicates interpret per row — the audited parity fallback
+                    row[name] = col[i]
+                out[i] = row_predicate(row)
             return out
 
         return evaluate

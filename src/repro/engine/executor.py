@@ -463,10 +463,12 @@ def _vectorizable_ranges(predicate, layout, wanted_fields) -> dict[str, tuple[fl
 
     The fast path applies when the residual predicate is a pure conjunction of
     numeric range constraints and the layout can filter/project all involved
-    fields vectorized (for Parquet that additionally means no nested field is
-    touched).  Open/half-open bounds are widened to +/-inf, which is safe for
-    closed-interval evaluation because the underlying predicates produced by
-    the workload generators are inclusive.
+    fields vectorized (for Parquet, nested numeric leaves qualify too as long
+    as they form a single aligned repetition group — the mask then evaluates
+    at entry granularity over the raw striped arrays).  Open/half-open bounds
+    are widened to +/-inf, which is safe for closed-interval evaluation
+    because the underlying predicates produced by the workload generators are
+    inclusive.
     """
     from repro.engine.expressions import Comparison, RangePredicate, conjuncts, extract_ranges
 

@@ -120,7 +120,7 @@ def assemble_rows(
             yield row
 
 
-def assemble_columns(
+def assemble_columns(  # rowwise-fallback: audited multi-group fallback — scan_batches takes the striped-view fast path for single-group plans; cross-product records need the per-record level walk
     columns: dict[str, StripedColumn],
     schema: RecordType,
     fields: Sequence[str],
@@ -204,7 +204,7 @@ def assemble_columns(
     return out, total_rows
 
 
-def _group_value_lists(
+def _group_value_lists(  # rowwise-fallback: audited multi-group fallback (see assemble_columns) — per-element slices of one repetition group
     columns: dict[str, StripedColumn],
     group_fields: Sequence[str],
     record_index: int,

@@ -19,7 +19,7 @@ from typing import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.engine.batch import RecordBatch, numeric_column_array
+from repro.engine.batch import RecordBatch, numeric_column_array, object_validity_mask
 from repro.engine.types import RecordType
 from repro.faults import runtime as faults
 from repro.layouts.base import CacheLayout, estimate_sequence_bytes
@@ -50,6 +50,11 @@ class ColumnarLayout(CacheLayout):
         #: lazily built object-dtype views of columns, enabling vectorized
         #: gathers (NumPy fancy indexing) on the filter/dedupe fast paths
         self._object_arrays: dict[str, np.ndarray] = {}
+        #: lazily built ``value is not None`` masks per column, pre-seeded
+        #: into batches so vectorized ``!=`` pays the Python walk once
+        self._validity_arrays: dict[str, np.ndarray] = {}
+        #: lazily built first-flattened-row-per-record index array
+        self._first_row_array: np.ndarray | None = None
 
     @classmethod
     def from_rows(
@@ -150,9 +155,13 @@ class ColumnarLayout(CacheLayout):
             f: self.numeric_array(f) if f in prime else self._numeric_arrays.get(f)
             for f in wanted
         }
+        validity = {
+            f: self.validity_array(f) if f in prime else self._validity_arrays.get(f)
+            for f in wanted
+        }
         injector = faults.injector_for("scan.layout", self.layout_name)
         if dedupe_records:
-            first_rows = np.asarray(sorted(self._record_first_rows()), dtype=np.int64)
+            first_rows = self._record_first_row_array()
             for start in range(0, len(first_rows), batch_size):
                 if injector is not None:
                     injector()
@@ -164,6 +173,9 @@ class ColumnarLayout(CacheLayout):
                 for name, array in arrays.items():
                     if array is not None:
                         batch.set_numeric_view(name, array[chunk])
+                for name, mask in validity.items():
+                    if mask is not None:
+                        batch.set_validity_view(name, mask[chunk])
                 yield batch
             return
         for start in range(0, self._row_count, batch_size):
@@ -176,6 +188,9 @@ class ColumnarLayout(CacheLayout):
             for name, array in arrays.items():
                 if array is not None:
                     batch.set_numeric_view(name, array[start:stop])
+            for name, mask in validity.items():
+                if mask is not None:
+                    batch.set_validity_view(name, mask[start:stop])
             yield batch
 
     # -- vectorized range filtering -------------------------------------------
@@ -190,6 +205,17 @@ class ColumnarLayout(CacheLayout):
         if name not in self._numeric_arrays:
             self._numeric_arrays[name] = numeric_column_array(self._columns[name])
         return self._numeric_arrays[name]
+
+    def validity_array(self, name: str) -> np.ndarray:
+        """Cached ``value is not None`` mask of one column.
+
+        Pre-seeded into scan batches for predicate columns so vectorized
+        ``!=`` evaluates its null guard as one cached boolean array instead
+        of re-walking the Python values per batch per query.
+        """
+        if name not in self._validity_arrays:
+            self._validity_arrays[name] = object_validity_mask(self._columns[name])
+        return self._validity_arrays[name]
 
     def _object_array(self, name: str) -> np.ndarray:
         """Cached object-dtype view of one column, for vectorized gathers.
@@ -252,7 +278,7 @@ class ColumnarLayout(CacheLayout):
             mask &= (array >= low) & (array <= high)
         if dedupe_records:
             keep = np.zeros(self._row_count, dtype=bool)
-            keep[list(self._record_first_rows())] = True
+            keep[self._record_first_row_array()] = True
             mask &= keep
         return mask
 
@@ -282,15 +308,33 @@ class ColumnarLayout(CacheLayout):
             array = self._numeric_arrays.get(name)
             if array is not None:
                 batch.set_numeric_view(name, array[index_array])
+            mask = self._validity_arrays.get(name)
+            if mask is not None:
+                batch.set_validity_view(name, mask[index_array])
         return batch
+
+    def _record_first_row_array(self) -> np.ndarray:
+        """Sorted row indexes of the first flattened row of each record.
+
+        Computed as an exclusive prefix sum over the per-record row counts
+        (degenerate zero-row records are clamped to one slot, preserving the
+        historical cursor semantics), cached for reuse across dedup scans.
+        """
+        if self._first_row_array is None:
+            if self._record_row_counts is None:
+                self._first_row_array = np.arange(self._row_count, dtype=np.int64)
+            elif not self._record_row_counts:
+                self._first_row_array = np.empty(0, dtype=np.int64)
+            else:
+                counts = np.maximum(
+                    1, np.asarray(self._record_row_counts, dtype=np.int64)
+                )
+                starts = np.empty(len(counts), dtype=np.int64)
+                starts[0] = 0
+                np.cumsum(counts[:-1], out=starts[1:])
+                self._first_row_array = starts
+        return self._first_row_array
 
     def _record_first_rows(self) -> set[int]:
         """Row indexes holding the first flattened row of each original record."""
-        if self._record_row_counts is None:
-            return set(range(self._row_count))
-        first_rows = set()
-        cursor = 0
-        for count in self._record_row_counts:
-            first_rows.add(cursor)
-            cursor += max(1, count)
-        return first_rows
+        return set(self._record_first_row_array().tolist())

@@ -55,6 +55,9 @@ class ParquetLayout(CacheLayout):
         #: lazily built object-dtype views of flat columns, enabling vectorized
         #: gathers (NumPy fancy indexing) on the range-filter fast path
         self._object_arrays: dict[str, np.ndarray] = {}
+        #: cached single-repetition-group entry plans keyed by the frozenset of
+        #: nested paths involved (None = those paths need full assembly)
+        self._entry_plans: dict[frozenset, tuple | None] = {}
 
     @classmethod
     def from_records(
@@ -138,10 +141,18 @@ class ParquetLayout(CacheLayout):
         ``assemble_records``/``assemble_rows`` call) happens at all, and the
         layout's cached float64 views are sliced alongside for ``numeric_fields``
         so batch predicates evaluate as NumPy masks over shared arrays.
-        Requests touching nested fields fall back to the level-interpreting
-        assembly *per column* (:func:`~repro.layouts.assembly.assemble_columns`):
-        flat columns are still copied straight out of their stripes and only
-        the nested columns pay the per-entry level walk.
+
+        Requests touching nested fields take the *striped view* fast path
+        when the nested columns form a single aligned repetition group (the
+        overwhelmingly common shape): by the striping invariant, one group's
+        entries in record order *are* the flattened rows — nested columns are
+        raw stripe slices, flat columns are ``np.repeat`` gathers by the
+        per-record entry counts, and float64/validity views come straight
+        from the cached entry arrays and ``def == max_def`` level masks, so
+        no per-record Python structure is ever assembled.  Only multi-group
+        (cross-product) or depth>1 misaligned requests fall back to the
+        level-interpreting assembly *per column*
+        (:func:`~repro.layouts.assembly.assemble_columns`).
         """
         wanted = list(fields) if fields is not None else list(self.fields)
         missing = [f for f in wanted if f not in self._columns]
@@ -168,6 +179,58 @@ class ParquetLayout(CacheLayout):
                 for name, array in arrays.items():
                     if array is not None:
                         batch.set_numeric_view(name, array[start:stop])
+                yield batch
+            return
+        plan = self._single_group_plan(wanted)
+        if plan is not None and all(
+            values is not None
+            for f, values in flat_columns.items()
+            if not self._columns[f].is_nested
+        ):
+            counts, offsets, _record_ids = plan
+            prime = set(numeric_fields or ())
+            for start in range(0, self._record_count, batch_size):
+                if injector is not None:
+                    injector()
+                stop = min(self._record_count, start + batch_size)
+                entry_start, entry_stop = int(offsets[start]), int(offsets[stop])
+                batch_counts = counts[start:stop]
+                columns: dict[str, list] = {}
+                for f in wanted:
+                    column = self._columns[f]
+                    if column.is_nested:
+                        columns[f] = column.values[entry_start:entry_stop]
+                    else:
+                        columns[f] = list(
+                            np.repeat(self._object_array(f)[start:stop], batch_counts)
+                        )
+                batch = RecordBatch(
+                    columns,
+                    row_count=entry_stop - entry_start,
+                    record_row_counts=batch_counts,
+                )
+                for f in wanted:
+                    column = self._columns[f]
+                    if column.is_nested:
+                        numeric = column.numeric_entries() if f in prime else None
+                        if numeric is not None:
+                            batch.set_numeric_view(f, numeric[entry_start:entry_stop])
+                        if f in prime:
+                            batch.set_validity_view(
+                                f, column.entry_validity()[entry_start:entry_stop]
+                            )
+                    elif f in prime:
+                        numeric = self.numeric_array(f)
+                        if numeric is not None:
+                            batch.set_numeric_view(
+                                f, np.repeat(numeric[start:stop], batch_counts)
+                            )
+                        batch.set_validity_view(
+                            f,
+                            np.repeat(
+                                column.entry_validity()[start:stop], batch_counts
+                            ),
+                        )
                 yield batch
             return
         pruned = prune_schema(self.schema, wanted)
@@ -218,22 +281,97 @@ class ParquetLayout(CacheLayout):
             self._object_arrays[name] = array
         return self._object_arrays[name]
 
+    def _single_group_plan(self, involved: Sequence[str]) -> tuple | None:
+        """The entry plan for the nested columns among ``involved``, or ``None``.
+
+        A plan exists when the nested columns form exactly one repetition
+        group at depth 1 and their per-record entry offsets agree — then one
+        group entry corresponds to exactly one flattened row and the stripes
+        can be read as row-aligned arrays with no level interpretation.
+        Returns ``(counts, offsets, record_ids)``: per-record entry counts,
+        entry offsets (``record_count + 1``), and the per-entry record
+        ordinal used to expand/gather flat per-record arrays.
+        """
+        nested = sorted(
+            f
+            for f in set(involved)
+            if f in self._columns and self._columns[f].is_nested
+        )
+        if not nested:
+            return None
+        key = frozenset(nested)
+        if key not in self._entry_plans:
+            plan = None
+            groups = {repetition_group(self.schema, f) for f in nested}
+            first = self._columns[nested[0]]
+            if (
+                len(groups) == 1
+                and all(self._columns[f].max_repetition == 1 for f in nested)
+                and all(
+                    np.array_equal(
+                        first.entry_offsets(), self._columns[f].entry_offsets()
+                    )
+                    for f in nested[1:]
+                )
+            ):
+                counts = first.entry_counts()
+                record_ids = np.repeat(
+                    np.arange(self._record_count, dtype=np.int64), counts
+                )
+                plan = (counts, first.entry_offsets(), record_ids)
+            self._entry_plans[key] = plan
+        return self._entry_plans[key]
+
     def supports_range_filter(self, fields: Sequence[str]) -> bool:
-        """True when every field is a non-nested numeric column of this cache."""
-        return all(self.numeric_array(field) is not None for field in fields)
+        """True when the fields filter/project as vectorized stripe arrays.
+
+        Non-nested numeric columns always qualify (the original contract).
+        Nested numeric columns qualify when they form a single aligned
+        repetition group (:meth:`_single_group_plan`): the range mask then
+        evaluates at entry granularity — one entry per flattened row — which
+        is exactly the row set the interpreter's assembled scan filters.
+        """
+        nested = [
+            f
+            for f in fields
+            if f in self._columns and self._columns[f].is_nested
+        ]
+        flat_ok = all(
+            self.numeric_array(field) is not None
+            for field in fields
+            if field not in nested
+        )
+        if not nested:
+            return flat_ok
+        return (
+            flat_ok
+            and self._single_group_plan(fields) is not None
+            and all(self._columns[f].numeric_entries() is not None for f in nested)
+        )
 
     def scan_range_filtered(
         self,
         ranges: Mapping[str, tuple[float, float]],
         fields: Sequence[str] | None = None,
     ) -> Iterator[dict]:
-        """Vectorized range filter over the short parent-level columns.
+        """Vectorized range filter over striped columns.
 
-        Only valid when the filtered *and* projected fields are all non-nested
-        (callers check :meth:`supports_range_filter` first); nested access goes
-        through the level-interpreting :meth:`scan`.
+        Callers check :meth:`supports_range_filter` first.  Flat-only plans
+        mask the short parent-level columns directly; plans touching nested
+        leaves evaluate the range mask at entry granularity over the raw
+        striped arrays and gather the matching flattened rows
+        (:meth:`_nested_range_selection`).
         """
         wanted = list(fields) if fields is not None else list(self.fields)
+        involved = sorted(set(wanted) | set(ranges))
+        if any(
+            f in self._columns and self._columns[f].is_nested for f in involved
+        ):
+            plan, index_array = self._nested_range_selection(ranges, involved)
+            gathered = [self._entry_gather(name, plan, index_array) for name in wanted]
+            for i in range(len(index_array)):
+                yield {name: array[i] for name, array in zip(wanted, gathered)}  # rowwise-fallback: row-format exit of the range scan; the batched executor uses range_filtered_batch
+            return
         mask = self._range_mask(ranges, wanted)
         projected = [self._columns[name].flat_values(self._record_count) for name in wanted]
         for index in np.nonzero(mask)[0]:
@@ -263,6 +401,55 @@ class ParquetLayout(CacheLayout):
             mask &= (arrays[field] >= low) & (arrays[field] <= high)
         return mask
 
+    def _nested_range_selection(
+        self, ranges: Mapping[str, tuple[float, float]], involved: Sequence[str]
+    ) -> tuple[tuple, np.ndarray]:
+        """Entry-granular range selection when nested columns are involved.
+
+        The mask is evaluated directly over the striped entry arrays — one
+        entry per flattened row by the single-group invariant — with ``None``
+        entries (missing values, empty collections) failing every range
+        exactly like the interpreter's null guard.  Shared by the
+        row-yielding and batch-yielding exits so the two executor fast paths
+        can never drift apart semantically.  Returns the entry plan and the
+        sorted indexes of matching entries.
+        """
+        injector = faults.injector_for("scan.layout", self.layout_name)
+        if injector is not None:
+            injector()  # one opportunity per vectorized stripe read
+        plan = self._single_group_plan(involved)
+        if plan is None:
+            raise ValueError(
+                "nested columns span repetition groups or are misaligned; use scan() instead"
+            )
+        _counts, offsets, record_ids = plan
+        mask = np.ones(int(offsets[-1]), dtype=bool)
+        for field, (low, high) in ranges.items():
+            column = self._columns[field]
+            if column.is_nested:
+                array = column.numeric_entries()
+            else:
+                flat = self.numeric_array(field)
+                array = None if flat is None else flat[record_ids]
+            if array is None:
+                raise ValueError(f"column {field!r} is non-numeric; use scan() instead")
+            mask &= (array >= low) & (array <= high)
+        return plan, np.nonzero(mask)[0]
+
+    def _entry_gather(self, name: str, plan: tuple, index_array: np.ndarray) -> np.ndarray:
+        """Gather one column's values at the selected group entries.
+
+        Nested columns index their entry arrays directly; flat columns hold
+        one value per record and are gathered through the per-entry record
+        ordinals, which is the vectorized equivalent of repeating the parent
+        value across its children.
+        """
+        _counts, _offsets, record_ids = plan
+        column = self._columns[name]
+        if column.is_nested:
+            return column.object_entries()[index_array]
+        return self._object_array(name)[record_ids[index_array]]
+
     def range_filtered_batch(
         self,
         ranges: Mapping[str, tuple[float, float]],
@@ -279,6 +466,44 @@ class ParquetLayout(CacheLayout):
         by construction and ``dedupe_records`` is inherently satisfied.
         """
         wanted = list(fields) if fields is not None else list(self.fields)
+        involved = sorted(set(wanted) | set(ranges))
+        if any(
+            f in self._columns and self._columns[f].is_nested for f in involved
+        ):
+            plan, index_array = self._nested_range_selection(ranges, involved)
+            _counts, _offsets, record_ids = plan
+            if dedupe_records and len(index_array):
+                # Record-granular semantics: keep the first matching entry of
+                # each record (defensive; nested-accessing queries run
+                # row-granular and never request dedup).
+                _, first_positions = np.unique(
+                    record_ids[index_array], return_index=True
+                )
+                index_array = index_array[first_positions]
+            columns = {
+                name: list(self._entry_gather(name, plan, index_array))
+                for name in wanted
+            }
+            batch = RecordBatch(columns, row_count=len(index_array))
+            for name in wanted:
+                column = self._columns[name]
+                if column.is_nested:
+                    numeric = column.numeric_entries()
+                    if numeric is not None:
+                        batch.set_numeric_view(name, numeric[index_array])
+                    batch.set_validity_view(
+                        name, column.entry_validity()[index_array]
+                    )
+                else:
+                    numeric = self.numeric_array(name)
+                    if numeric is not None:
+                        batch.set_numeric_view(
+                            name, numeric[record_ids[index_array]]
+                        )
+                    batch.set_validity_view(
+                        name, column.entry_validity()[record_ids[index_array]]
+                    )
+            return batch
         index_array = np.nonzero(self._range_mask(ranges, wanted))[0]
         columns = {
             name: list(self._object_array(name)[index_array]) for name in wanted

@@ -15,6 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
+from repro.engine.batch import numeric_column_array
 from repro.engine.types import (
     AtomType,
     DataType,
@@ -36,6 +39,14 @@ class StripedColumn:
     definition_levels: list[int] = field(default_factory=list)
     #: per-record (start, end) entry ranges, filled in by ``stripe_records``
     record_ranges: list[tuple[int, int]] = field(default_factory=list)
+    #: lazily built NumPy views over the stripe (see the ``*_array`` methods);
+    #: excluded from equality so cached and freshly-striped columns compare equal
+    _definition_array: object = field(default=None, repr=False, compare=False)
+    _entry_validity: object = field(default=None, repr=False, compare=False)
+    _numeric_entries: object = field(default=None, repr=False, compare=False)
+    _numeric_checked: bool = field(default=False, repr=False, compare=False)
+    _object_entries: object = field(default=None, repr=False, compare=False)
+    _entry_offsets: object = field(default=None, repr=False, compare=False)
 
     @property
     def is_nested(self) -> bool:
@@ -53,6 +64,71 @@ class StripedColumn:
     def record_entries(self, record_index: int) -> tuple[int, int]:
         """Return the (start, end) entry range belonging to one record."""
         return self.record_ranges[record_index]
+
+    # ------------------------------------------------------------------
+    # Vectorized entry views (built once, cached on the column)
+    #
+    # These are the raw arrays the nested-predicate vectorizer works on:
+    # predicates over ``a.b.c`` evaluate directly against the entry-granular
+    # value/definition arrays, so a scan never assembles per-record Python
+    # structures just to test a condition.
+    # ------------------------------------------------------------------
+    def definition_array(self) -> np.ndarray:
+        """The definition levels as an int64 array (one slot per entry)."""
+        if self._definition_array is None:
+            self._definition_array = np.asarray(self.definition_levels, dtype=np.int64)
+        return self._definition_array
+
+    def entry_validity(self) -> np.ndarray:
+        """Boolean array: entry carries a present value (def level == max).
+
+        By the striping invariant, an entry below the maximum definition
+        level always stores ``None`` — so this mask is identical to a
+        per-entry ``value is not None`` test, computed from the level array.
+        """
+        if self._entry_validity is None:
+            self._entry_validity = self.definition_array() == self.max_definition
+        return self._entry_validity
+
+    def numeric_entries(self) -> np.ndarray | None:  # returns: flat-view
+        """Cached float64 view of the raw entry values, or ``None``.
+
+        ``None`` entries (missing/empty collections and NULL atoms) become
+        NaN, exactly like :func:`repro.engine.batch.numeric_column_array`;
+        string columns return ``None`` and keep the per-row fallback.
+        """
+        if not self._numeric_checked:
+            self._numeric_entries = numeric_column_array(self.values)
+            self._numeric_checked = True
+        return self._numeric_entries
+
+    def object_entries(self) -> np.ndarray:
+        """Cached object-dtype view of the raw entry values (for gathers)."""
+        if self._object_entries is None:
+            arr = np.empty(len(self.values), dtype=object)
+            arr[:] = self.values
+            self._object_entries = arr
+        return self._object_entries
+
+    def entry_offsets(self) -> np.ndarray:
+        """Entry offsets per record: ``offsets[i]:offsets[i+1]`` is record i.
+
+        Length is ``record_count + 1``; valid because ``stripe_records``
+        appends entries record by record, so ranges are contiguous.
+        """
+        if self._entry_offsets is None:
+            ranges = np.asarray(self.record_ranges, dtype=np.int64).reshape(-1, 2)
+            offsets = np.empty(len(ranges) + 1, dtype=np.int64)
+            offsets[:-1] = ranges[:, 0]
+            offsets[-1] = self.entry_count
+            self._entry_offsets = offsets
+        return self._entry_offsets
+
+    def entry_counts(self) -> np.ndarray:
+        """Per-record entry counts (``>= 1`` everywhere: empty collections
+        stripe one placeholder entry, see ``_emit_nulls``)."""
+        offsets = self.entry_offsets()
+        return offsets[1:] - offsets[:-1]
 
     def flat_values(self, record_count: int) -> list | None:  # returns: flat-view
         """The per-record value list of a non-repeated column, or ``None``.
@@ -125,21 +201,176 @@ def stripe_records(
     schema: RecordType,
     fields: Sequence[str] | None = None,
 ) -> dict[str, StripedColumn]:
-    """Shred nested records into striped columns for the requested leaf paths."""
+    """Shred nested records into striped columns for the requested leaf paths.
+
+    Leaf columns stripe independently of each other, so when every requested
+    path crosses at most one repeated level the per-record recursive walk is
+    replaced by compiled per-leaf stripers (one flat closure per column) that
+    emit identical values, levels and record ranges at a fraction of the
+    interpreter overhead.  Any deeper repetition (``max_repetition > 1``)
+    falls back to the general recursive shredder.
+    """
     if fields is None:
         fields = schema.leaf_paths()
-    pruned = prune_schema(schema, fields)
     columns: dict[str, StripedColumn] = {}
     for path in fields:
         max_rep, max_def = column_levels(schema, path)
         columns[path] = StripedColumn(path, max_rep, max_def)
 
+    stripers: list[tuple] | None = []
+    for path, column in columns.items():
+        fn = _leaf_striper(schema, path)
+        if fn is None:
+            stripers = None
+            break
+        stripers.append((column, fn))
+    if stripers is not None:
+        for column, fn in stripers:
+            values = column.values
+            reps = column.repetition_levels
+            defs = column.definition_levels
+            ranges = column.record_ranges
+            for record in records:
+                start = len(values)
+                fn(record, values, reps, defs)
+                ranges.append((start, len(values)))
+        return columns
+
+    pruned = prune_schema(schema, fields)
     for record in records:
         starts = {path: col.entry_count for path, col in columns.items()}
         _stripe_record(record, pruned, "", 0, 0, 0, columns)
         for path, col in columns.items():
             col.record_ranges.append((starts[path], col.entry_count))
     return columns
+
+
+def _analyze_stripe_path(schema: RecordType, path: str):
+    """Split ``path`` into (record keys, list key, element keys), or None.
+
+    Returns None when the path crosses more than one repeated level — those
+    columns keep the recursive shredder.
+    """
+    prefix: list[str] = []
+    suffix: list[str] = []
+    list_seen = False
+    current: DataType = schema
+    for part in path.split("."):
+        if isinstance(current, ListType):
+            if list_seen:
+                return None
+            list_seen = True
+            current = current.element
+            if isinstance(current, ListType):
+                return None
+        if not isinstance(current, RecordType):
+            return None
+        (suffix if list_seen else prefix).append(part)
+        current = current.field(part).dtype
+    if isinstance(current, ListType):
+        if list_seen:
+            return None
+        list_seen = True
+        current = current.element
+    if not isinstance(current, AtomType):
+        return None
+    if not list_seen:
+        return (prefix, None, [])
+    # The repeated field itself is the last prefix part; ``suffix`` holds the
+    # element-relative keys (empty for a list of atoms).
+    return (prefix[:-1], prefix[-1], suffix)
+
+
+def _leaf_striper(schema: RecordType, path: str):
+    """Compile one leaf path into ``fn(record, values, reps, defs)`` or None.
+
+    Each closure reproduces ``_stripe_record``'s emissions for its column
+    exactly: the same ``is not None`` definition increments, the same
+    ``isinstance(..., dict)`` record coercion, the same empty/missing-list
+    placeholder entry, and the same first-element repetition level rule.
+    """
+    spec = _analyze_stripe_path(schema, path)
+    if spec is None:
+        return None
+    prefix, list_key, suffix = spec
+
+    if list_key is None:
+        inter, leaf = prefix[:-1], prefix[-1]
+
+        def stripe_flat(record, values, reps, defs):
+            d = 0
+            parent = record
+            for k in inter:
+                v = parent.get(k)
+                if v is not None:
+                    d += 1
+                parent = v if isinstance(v, dict) else {}
+            v = parent.get(leaf)
+            values.append(v)
+            reps.append(0)
+            defs.append(d + 1 if v is not None else d)
+
+        return stripe_flat
+
+    inter = prefix
+    if suffix:
+        s_inter, s_leaf = suffix[:-1], suffix[-1]
+
+        def stripe_list_of_records(record, values, reps, defs):
+            d = 0
+            parent = record
+            for k in inter:
+                v = parent.get(k)
+                if v is not None:
+                    d += 1
+                parent = v if isinstance(v, dict) else {}
+            lv = parent.get(list_key)
+            if isinstance(lv, (list, tuple)) and lv:
+                rep = 0
+                for element in lv:
+                    dd = d + 1
+                    if element is not None:
+                        dd += 1
+                    cur = element if isinstance(element, dict) else {}
+                    for k in s_inter:
+                        v = cur.get(k)
+                        if v is not None:
+                            dd += 1
+                        cur = v if isinstance(v, dict) else {}
+                    v = cur.get(s_leaf)
+                    values.append(v)
+                    reps.append(rep)
+                    defs.append(dd + 1 if v is not None else dd)
+                    rep = 1
+            else:
+                values.append(None)
+                reps.append(0)
+                defs.append(d)
+
+        return stripe_list_of_records
+
+    def stripe_list_of_atoms(record, values, reps, defs):
+        d = 0
+        parent = record
+        for k in inter:
+            v = parent.get(k)
+            if v is not None:
+                d += 1
+            parent = v if isinstance(v, dict) else {}
+        lv = parent.get(list_key)
+        if isinstance(lv, (list, tuple)) and lv:
+            rep = 0
+            for element in lv:
+                values.append(element)
+                reps.append(rep)
+                defs.append(d + 2 if element is not None else d + 1)
+                rep = 1
+        else:
+            values.append(None)
+            reps.append(0)
+            defs.append(d)
+
+    return stripe_list_of_atoms
 
 
 def _stripe_record(

@@ -17,9 +17,11 @@ def corpus_batch_root(batches, values, idx):
     total = bad_materializes_rows(batches)
     total += bad_transposes_and_rebuilds(batches)
     total += bad_gathers_elements(values, idx)
+    total += bad_walks_striped_levels(batches)
     total += good_audited_row_exit(batches)
     total += good_blessed_roundtrip(values)
     total += good_chunked_rebatch(values, 64)
+    total += good_single_level_lookup(batches)
     return total
 
 
@@ -46,6 +48,22 @@ def bad_gathers_elements(values, idx):
     data = values.tolist()  # PLANTED: hotpath
     picked = [data[i] for i in idx]  # PLANTED: hotpath
     return len(picked)
+
+
+def bad_walks_striped_levels(columns):
+    total = 0
+    for record_index in range(4):
+        for column in columns:
+            start, end = column.record_entries(record_index)  # PLANTED: hotpath
+            total += end - start
+    return total
+
+
+def good_single_level_lookup(columns):
+    """One level lookup outside any loop: record-granular, not row-granular."""
+    first = next(iter(columns))
+    start, end = first.record_entries(0)
+    return end - start
 
 
 def good_audited_row_exit(batches):  # rowwise-fallback: audited parity exit for the row-format result API

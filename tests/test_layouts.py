@@ -153,9 +153,32 @@ class TestLayouts:
     def test_vectorized_range_filter_parquet_flat_columns(self):
         layout = build_layout("parquet", SCHEMA, FIELDS, records=RECORDS)
         assert layout.supports_range_filter(["total"])
-        assert not layout.supports_range_filter(["items.q"])
         rows = list(layout.scan_range_filtered({"total": (5.0, 25.0)}, fields=["key", "total"]))
         assert sorted(row["key"] for row in rows) == [1, 2]
+
+    def test_vectorized_range_filter_parquet_nested_columns(self):
+        # Nested numeric columns of one aligned repetition group now take the
+        # entry-granular striped range path (no assembly); string columns and
+        # cross-group requests still refuse.
+        layout = build_layout("parquet", SCHEMA, FIELDS, records=RECORDS)
+        assert layout.supports_range_filter(["items.q"])
+        assert layout.supports_range_filter(["key", "items.q", "items.p"])
+        assert not layout.supports_range_filter(["info.city", "items.q"])
+        rows = list(
+            layout.scan_range_filtered(
+                {"items.q": (2.0, 9.0)}, fields=["key", "items.q", "items.p"]
+            )
+        )
+        expected = [
+            {f: row.get(f) for f in ("key", "items.q", "items.p")}
+            for row in expected_rows(fields=["key", "items.q", "items.p"])
+            if row["items.q"] is not None and 2.0 <= row["items.q"] <= 9.0
+        ]
+        assert rows == expected
+        batch = layout.range_filtered_batch(
+            {"items.q": (2.0, 9.0)}, fields=["key", "items.q", "items.p"]
+        )
+        assert batch.to_rows() == expected
 
     def test_flat_relational_rows(self):
         schema = RecordType([Field("a", INT), Field("b", FLOAT)])

@@ -11,13 +11,20 @@ the row output bit for bit, and a join-heavy class stresses the factorized
 hash-join probe (numeric and string keys, null keys, rows-heavy plain-select
 joins) the same three-way way.
 
+A nested-heavy class drives the nested-predicate vectorizer specifically:
+every seeded predicate references a striped leaf path (closed ranges,
+exists-style whole-domain ranges, equality and validity-masked ``!=``), on
+all three layouts.
+
 The default (CI) run executes a fixed-seed subset of ``PARITY_FUZZ_QUERIES``
 queries per layout (100 x 3 = 300 total for the main class, above the
 >= 200-query acceptance bar) plus ``PARITY_FUZZ_JOIN_QUERIES`` join-heavy
-queries per flat layout; set the ``RECACHE_PARITY_FUZZ_QUERIES`` /
-``RECACHE_PARITY_FUZZ_JOIN_QUERIES`` environment variables to fuzz harder in
-a nightly/full run (only those runs should raise the counts — CI stays at
-the defaults).
+queries per flat layout and ``PARITY_FUZZ_NESTED_QUERIES`` nested-heavy
+queries per layout (100 x 3 = 300); set the ``RECACHE_PARITY_FUZZ_QUERIES``
+/ ``RECACHE_PARITY_FUZZ_JOIN_QUERIES`` /
+``RECACHE_PARITY_FUZZ_NESTED_QUERIES`` environment variables to fuzz harder
+in a nightly/full run (only those runs should raise the counts — CI stays
+at the defaults).
 """
 
 from __future__ import annotations
@@ -49,6 +56,9 @@ from tests.test_batch_execution import _cache_counters, _canonical, _report_coun
 PARITY_FUZZ_QUERIES = int(os.environ.get("RECACHE_PARITY_FUZZ_QUERIES", "100"))
 PARITY_FUZZ_JOIN_QUERIES = int(
     os.environ.get("RECACHE_PARITY_FUZZ_JOIN_QUERIES", str(max(10, PARITY_FUZZ_QUERIES // 2)))
+)
+PARITY_FUZZ_NESTED_QUERIES = int(
+    os.environ.get("RECACHE_PARITY_FUZZ_NESTED_QUERIES", str(PARITY_FUZZ_QUERIES))
 )
 FUZZ_SEED = 20260729
 
@@ -244,6 +254,69 @@ def _random_query(rng: random.Random, index: int) -> Query:
     )
 
 
+NESTED_ORDER_FIELDS = sorted(k for k in ORDER_RANGES if "." in k)
+FLAT_ORDER_FIELDS = sorted(k for k in ORDER_RANGES if "." not in k)
+
+
+def _random_nested_leaf(rng: random.Random):
+    """A predicate leaf over a nested (striped) path of the orders table."""
+    field = rng.choice(NESTED_ORDER_FIELDS)
+    low, high = ORDER_RANGES[field]
+    roll = rng.random()
+    if roll < 0.35:  # closed range — the striped range-filter fast path
+        return _random_range(rng, field, ORDER_RANGES)
+    if roll < 0.5:
+        # Exists-style: a range covering the whole domain, true exactly for
+        # records with at least one non-NULL entry on the path.
+        return RangePredicate(field, low - 1.0, high + 1.0)
+    if roll < 0.7:
+        op = rng.choice(["<", "<=", ">", ">="])
+        return Comparison(op, FieldRef(field), Literal(round(rng.uniform(low, high), 2)))
+    # Integer-valued literals so equality (and its validity-masked negation)
+    # actually hits entries instead of always missing on float dust.
+    literal = Literal(float(int(rng.uniform(low, high))))
+    return Comparison(rng.choice(["==", "!="]), FieldRef(field), literal)
+
+
+def _random_nested_query(rng: random.Random, index: int) -> Query:
+    """A nested-heavy orders query: every predicate touches a striped path.
+
+    Stresses the nested-predicate vectorizer end to end — entry-granular
+    masks over striped value/definition arrays, the ``reduceat`` entry->record
+    reduction, validity-masked ``!=``, and the mixed nested+flat conjunctions
+    that must agree with the per-row interpreter on every layout.
+    """
+    roll = rng.random()
+    if roll < 0.4:
+        predicate = _random_nested_leaf(rng)
+    elif roll < 0.6:  # nested AND nested-or-flat
+        other = (
+            _random_nested_leaf(rng)
+            if rng.random() < 0.5
+            else _random_range(rng, rng.choice(FLAT_ORDER_FIELDS), ORDER_RANGES)
+        )
+        predicate = And([_random_nested_leaf(rng), other])
+    elif roll < 0.8:
+        other = (
+            _random_nested_leaf(rng)
+            if rng.random() < 0.5
+            else _random_range(rng, rng.choice(FLAT_ORDER_FIELDS), ORDER_RANGES)
+        )
+        predicate = Or([_random_nested_leaf(rng), other])
+    else:
+        predicate = Not(_random_nested_leaf(rng))
+    if rng.random() < 0.25:  # plain select-project over flattened rows
+        return Query(tables=[TableRef("orders", predicate)], label=f"fuzz-nested-select-{index}")
+    numeric = NESTED_ORDER_FIELDS + FLAT_ORDER_FIELDS
+    group_by = [rng.choice(["o_shippriority", "o_orderdate"])] if rng.random() < 0.35 else []
+    return Query(
+        tables=[TableRef("orders", predicate)],
+        aggregates=_random_aggregates(rng, numeric, []),
+        group_by=group_by,
+        label=f"fuzz-nested-{index}",
+    )
+
+
 def _random_join_query(rng: random.Random, index: int) -> Query:
     """A join-heavy query: every query joins ``events`` with ``dims``.
 
@@ -343,6 +416,82 @@ def test_parity_fuzz_join_heavy(fuzz_dataset_dir, layout):
         PARITY_FUZZ_JOIN_QUERIES,
         seed_offset=101,
     )
+
+
+@pytest.mark.parametrize("layout", sorted(LAYOUT_CONFIGS))
+def test_parity_fuzz_nested_heavy(fuzz_dataset_dir, layout):
+    """The nested-predicate vectorizer agrees with the per-row interpreter
+    (and its columnar exit with the rows exit) on a nested-only workload.
+
+    Every seeded predicate references a striped leaf path, so every layout
+    exercises its nested plan: the parquet striped-view fast path and
+    entry-granular range filter, the columnar flattened scan, and the row
+    layout's bridge — ``PARITY_FUZZ_NESTED_QUERIES`` queries per layout.
+    """
+    _run_three_way_parity(
+        fuzz_dataset_dir,
+        layout,
+        _random_nested_query,
+        PARITY_FUZZ_NESTED_QUERIES,
+        seed_offset=202,
+    )
+
+
+def test_nested_fuzz_workload_exercises_the_vectorizer_paths():
+    """The nested-heavy seed hits every vectorizer shape it exists for."""
+    rng = random.Random(FUZZ_SEED + _layout_seed_offset("parquet") + 202)
+    queries = [_random_nested_query(rng, i) for i in range(PARITY_FUZZ_NESTED_QUERIES)]
+
+    def leaves(predicate):
+        stack, out = [predicate], []
+        while stack:
+            node = stack.pop()
+            children = list(getattr(node, "children", ()))
+            child = getattr(node, "child", None)
+            if child is not None:
+                children.append(child)
+            if children:
+                stack.extend(children)
+            else:
+                out.append(node)
+        return out
+
+    all_leaves = [
+        leaf
+        for query in queries
+        for table in query.tables
+        if table.predicate is not None
+        for leaf in leaves(table.predicate)
+    ]
+    assert all(
+        any("." in f for f in query.tables[0].predicate.referenced_fields())
+        for query in queries
+    ), "a nested-heavy query without a nested path"
+    closed = [
+        leaf
+        for leaf in all_leaves
+        if isinstance(leaf, RangePredicate) and "." in leaf.field
+    ]
+    assert closed, "no nested range predicate"
+    assert any(
+        leaf.low <= ORDER_RANGES[leaf.field][0] and leaf.high >= ORDER_RANGES[leaf.field][1]
+        for leaf in closed
+    ), "no exists-style whole-domain range"
+    ops = {
+        leaf.op
+        for leaf in all_leaves
+        if isinstance(leaf, Comparison)
+        and any("." in f for f in leaf.referenced_fields())
+    }
+    assert "==" in ops, "no nested equality"
+    assert "!=" in ops, "no nested inequality (validity-masked vectorization)"
+    assert any(
+        isinstance(query.tables[0].predicate, And)
+        and any("." not in f for f in query.tables[0].predicate.referenced_fields())
+        for query in queries
+    ), "no mixed nested+flat conjunction"
+    assert any(not query.aggregates for query in queries), "no plain nested select"
+    assert any(query.group_by for query in queries), "no grouped nested aggregate"
 
 
 def test_fuzz_workload_exercises_the_interesting_shapes(fuzz_dataset_dir):

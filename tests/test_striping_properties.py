@@ -160,3 +160,111 @@ def test_flat_columns_stripe_one_aligned_entry_per_record(seed):
                 assert value is not None, (path, index)
             else:
                 assert value is None, (path, index)
+
+
+# ---------------------------------------------------------------------------
+# Regression: empty/missing collections behind optional struct wrappers
+# ---------------------------------------------------------------------------
+# An optional record wrapping a repeated field puts the list node at
+# definition depth > 1, which is exactly where an off-by-one in
+# ``list_definition_threshold`` (the ``threshold - 2`` empty-collection test in
+# ``_assemble_group_elements``) would collapse the distinctions between a
+# missing wrapper, a present wrapper with an empty list, and a one-element
+# list holding NULL.  These cases pin each shape end to end: stripe ->
+# assemble_records structure, and stripe -> assemble_rows/columns parity with
+# ``flatten_record``.
+
+WRAPPED_SCHEMA = RecordType(
+    [
+        Field("key", INT),
+        Field(
+            "meta",
+            RecordType([Field("tags", ListType(STRING)), Field("n", INT)]),
+        ),
+    ]
+)
+
+DEEP_SCHEMA = RecordType(
+    [
+        Field("key", INT),
+        Field(
+            "a",
+            RecordType(
+                [
+                    Field(
+                        "b",
+                        RecordType(
+                            [Field("c", ListType(RecordType([Field("x", INT)])))]
+                        ),
+                    )
+                ]
+            ),
+        ),
+    ]
+)
+
+
+@pytest.mark.parametrize(
+    "record, expected_tags",
+    [
+        ({"key": 1}, []),  # wrapper missing entirely
+        ({"key": 2, "meta": None}, []),  # wrapper explicitly null
+        ({"key": 3, "meta": {"n": 7}}, []),  # wrapper present, list missing
+        ({"key": 4, "meta": {"tags": [], "n": 7}}, []),  # list present but empty
+        ({"key": 5, "meta": {"tags": [None], "n": 7}}, [None]),  # one NULL element
+        ({"key": 6, "meta": {"tags": ["a", None, "b"]}}, ["a", None, "b"]),
+    ],
+)
+def test_wrapped_empty_list_reconstructs_distinctly(record, expected_tags):
+    columns = stripe_records([record], WRAPPED_SCHEMA)
+    (rebuilt,) = assemble_records(columns, WRAPPED_SCHEMA)
+    assert rebuilt["meta"]["tags"] == expected_tags
+
+
+@pytest.mark.parametrize(
+    "record, expected_elements",
+    [
+        ({"key": 1}, []),  # whole chain missing
+        ({"key": 2, "a": {}}, []),  # empty at depth 1
+        ({"key": 3, "a": {"b": {}}}, []),  # empty at depth 2
+        ({"key": 4, "a": {"b": {"c": []}}}, []),  # empty list at depth 3
+        ({"key": 5, "a": {"b": {"c": [None]}}}, [{"x": None}]),
+        ({"key": 6, "a": {"b": {"c": [{"x": 9}, {}]}}}, [{"x": 9}, {"x": None}]),
+    ],
+)
+def test_deep_empty_list_reconstructs_distinctly(record, expected_elements):
+    columns = stripe_records([record], DEEP_SCHEMA)
+    (rebuilt,) = assemble_records(columns, DEEP_SCHEMA)
+    assert rebuilt["a"]["b"]["c"] == expected_elements
+
+
+@pytest.mark.parametrize("schema", [WRAPPED_SCHEMA, DEEP_SCHEMA], ids=["wrapped", "deep"])
+def test_wrapped_empty_lists_flatten_parity(schema):
+    from repro.engine.types import flatten_record
+
+    if schema is WRAPPED_SCHEMA:
+        records = [
+            {"key": 1},
+            {"key": 2, "meta": None},
+            {"key": 3, "meta": {"n": 7}},
+            {"key": 4, "meta": {"tags": [], "n": 7}},
+            {"key": 5, "meta": {"tags": [None], "n": 8}},
+            {"key": 6, "meta": {"tags": ["a", None, "b"], "n": 9}},
+        ]
+    else:
+        records = [
+            {"key": 1},
+            {"key": 2, "a": {}},
+            {"key": 3, "a": {"b": {}}},
+            {"key": 4, "a": {"b": {"c": []}}},
+            {"key": 5, "a": {"b": {"c": [None]}}},
+            {"key": 6, "a": {"b": {"c": [{"x": 9}, {}]}}},
+        ]
+    expected = [row for record in records for row in flatten_record(record, schema)]
+    columns = stripe_records(records, schema)
+    leaves = schema.leaf_paths()
+    assert list(assemble_rows(columns, schema, leaves)) == expected
+    assembled, row_count = assemble_columns(columns, schema, leaves)
+    assert row_count == len(expected)
+    rebuilt = [{f: assembled[f][i] for f in leaves} for i in range(row_count)]
+    assert rebuilt == expected
