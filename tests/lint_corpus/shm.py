@@ -1,0 +1,49 @@
+"""Seeded ``shm-lifecycle`` violation for the self-test.
+
+No locks, no futures, no exception handling of interest: the file
+exercises only the segment-creation/unlink pairing rule, so the other
+rule families stay quiet on it.
+"""
+
+# recheck-lint: check-shm-lifecycle
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+
+def _discard_segment(shm):
+    shm.close()
+    shm.unlink()
+
+
+def good_failure_branch_unlinks(name, payload):
+    shm = shared_memory.SharedMemory(name=name, create=True, size=len(payload))
+    try:
+        shm.buf[: len(payload)] = payload
+    except BaseException:
+        _discard_segment(shm)
+        raise
+    return shm
+
+
+def good_direct_unlink(name):
+    shm = shared_memory.SharedMemory(name=name, create=True, size=8)
+    shm.close()
+    shm.unlink()
+
+
+def good_attach_only(name):
+    # Attaching does not create the name; the creator owns the unlink.
+    return shared_memory.SharedMemory(name=name)
+
+
+def good_deliberate_allow(name):
+    # A caller-owned segment: the registry that asked for it unlinks it.
+    return shared_memory.SharedMemory(name=name, create=True, size=8)  # recheck-lint: allow(shm-lifecycle) — caller owns
+
+
+def bad_leaked_segment(name, payload):
+    shm = shared_memory.SharedMemory(name=name, create=True, size=len(payload))  # PLANTED: shm-lifecycle
+    shm.buf[: len(payload)] = payload
+    return shm.name

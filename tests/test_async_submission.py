@@ -168,6 +168,34 @@ def test_queue_counters_populated_and_merged(server_engine):
     assert merged.queue_depth == max(r.queue_depth for r in reports)
 
 
+def test_coalesced_wait_accrues_separately_from_queue_wait(server_engine):
+    """Coalesced duplicates must not inflate ``queue_wait_time``.
+
+    Each duplicate used to report a full queue-to-resolve interval as queue
+    wait, so a batch of N identical queries summed to N× the real wait — a
+    3.59s aggregate against a 0.05s wall in the batched bench.  Duplicate
+    waits now land in ``coalesced_wait_time``; ``queue_wait_time`` counts
+    only submissions that actually occupied the queue.
+    """
+    hot = _flat_query(0, 10.0)
+    started = time.perf_counter()
+    with EngineServer(server_engine) as server:
+        reports = server.serve_all([hot] * 8)
+    wall = time.perf_counter() - started
+    duplicates = [r for r in reports if r.coalesced]
+    primaries = [r for r in reports if not r.coalesced]
+    assert len(duplicates) == 7
+    assert all(r.queue_wait_time == 0.0 for r in duplicates)
+    assert all(0.0 <= r.coalesced_wait_time <= wall for r in duplicates)
+    assert all(r.coalesced_wait_time == 0.0 for r in primaries)
+    merged = merge_reports(reports)
+    # The aggregate queue wait can no longer exceed the real wall window.
+    assert merged.queue_wait_time <= wall + 1e-6
+    assert merged.coalesced_wait_time == pytest.approx(
+        sum(r.coalesced_wait_time for r in duplicates)
+    )
+
+
 # ---------------------------------------------------------------------------
 # merge_reports: every admission key survives (satellite)
 # ---------------------------------------------------------------------------

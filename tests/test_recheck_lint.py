@@ -82,6 +82,7 @@ def test_report_archives_raise_sets_and_wall_time():
     assert raise_sets["QueryEngine.execute"] == [
         "DeadlineExceeded",
         "TransientScanError",
+        "WorkerCrashed",
     ]
     assert "TransientScanError" in raise_sets["execute_plan"]
     # record_reuse's contract is "raises nothing": it must not appear at all.
